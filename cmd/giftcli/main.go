@@ -1,0 +1,164 @@
+// Command giftcli encrypts and decrypts single blocks with GIFT-64 and
+// GIFT-128, optionally using the bitsliced (constant-time) or
+// reshaped-table (hardened) implementations.
+//
+// Usage:
+//
+//	giftcli -mode encrypt -variant 64  -key <32 hex> -block <16 hex>
+//	giftcli -mode decrypt -variant 128 -key <32 hex> -block <32 hex>
+//	giftcli -mode encrypt -variant 64  -impl bitsliced -key ... -block ...
+//	giftcli -selftest
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/countermeasure"
+	"grinch/internal/gift"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "encrypt", "encrypt or decrypt")
+		variant  = flag.Int("variant", 64, "block size: 64 or 128")
+		impl     = flag.String("impl", "table", "implementation: table, bitsliced or reshaped")
+		keyHex   = flag.String("key", "", "128-bit key as 32 hex digits")
+		blockHex = flag.String("block", "", "plaintext/ciphertext block in hex (16 or 32 digits)")
+		selftest = flag.Bool("selftest", false, "run the official test vectors and exit")
+	)
+	flag.Parse()
+
+	if *selftest {
+		runSelfTest()
+		return
+	}
+
+	key, err := parseKey(*keyHex)
+	if err != nil {
+		fatalf("bad -key: %v", err)
+	}
+	block, err := hex.DecodeString(*blockHex)
+	if err != nil {
+		fatalf("bad -block: %v", err)
+	}
+
+	switch *variant {
+	case 64:
+		if len(block) != 8 {
+			fatalf("GIFT-64 blocks are 16 hex digits, got %d", len(*blockHex))
+		}
+		out := run64(*mode, *impl, key, block)
+		fmt.Printf("%x\n", out)
+	case 128:
+		if len(block) != 16 {
+			fatalf("GIFT-128 blocks are 32 hex digits, got %d", len(*blockHex))
+		}
+		out := run128(*mode, *impl, key, block)
+		fmt.Printf("%x\n", out)
+	default:
+		fatalf("-variant must be 64 or 128")
+	}
+}
+
+func parseKey(s string) ([16]byte, error) {
+	var key [16]byte
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return key, err
+	}
+	if len(b) != 16 {
+		return key, fmt.Errorf("need 32 hex digits, got %d", len(s))
+	}
+	copy(key[:], b)
+	return key, nil
+}
+
+func run64(mode, impl string, key [16]byte, block []byte) []byte {
+	c := gift.NewCipher64(key)
+	var pt uint64
+	for _, b := range block {
+		pt = pt<<8 | uint64(b)
+	}
+	var out uint64
+	switch {
+	case mode == "encrypt" && impl == "table":
+		out = c.EncryptBlock(pt)
+	case mode == "encrypt" && impl == "bitsliced":
+		out = c.EncryptBlockBitsliced(pt)
+	case mode == "encrypt" && impl == "reshaped":
+		out = countermeasure.NewHardenedCipher64(bitutil.Word128FromBytes(key)).EncryptBlock(pt)
+	case mode == "decrypt" && impl == "table":
+		out = c.DecryptBlock(pt)
+	case mode == "decrypt" && impl == "bitsliced":
+		out = c.DecryptBlockBitsliced(pt)
+	default:
+		fatalf("unsupported mode/impl combination %q/%q for GIFT-64", mode, impl)
+	}
+	res := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		res[i] = byte(out)
+		out >>= 8
+	}
+	return res
+}
+
+func run128(mode, impl string, key [16]byte, block []byte) []byte {
+	c := gift.NewCipher128(key)
+	out := make([]byte, 16)
+	switch {
+	case mode == "encrypt" && impl == "table":
+		c.Encrypt(out, block)
+	case mode == "decrypt" && impl == "table":
+		c.Decrypt(out, block)
+	case mode == "encrypt" && impl == "bitsliced":
+		var in [16]byte
+		copy(in[:], block)
+		w := c.EncryptBlockBitsliced(bitutil.Word128FromBytes(in))
+		b := w.Bytes()
+		copy(out, b[:])
+	default:
+		fatalf("unsupported mode/impl combination %q/%q for GIFT-128", mode, impl)
+	}
+	return out
+}
+
+func runSelfTest() {
+	vectors := []struct {
+		variant   int
+		key, p, c string
+	}{
+		{64, "00000000000000000000000000000000", "0000000000000000", "f62bc3ef34f775ac"},
+		{64, "fedcba9876543210fedcba9876543210", "fedcba9876543210", "c1b71f66160ff587"},
+		{128, "00000000000000000000000000000000", "00000000000000000000000000000000", "cd0bd738388ad3f668b15a36ceb6ff92"},
+		{128, "fedcba9876543210fedcba9876543210", "fedcba9876543210fedcba9876543210", "8422241a6dbf5a9346af468409ee0152"},
+	}
+	ok := true
+	for _, v := range vectors {
+		key, _ := parseKey(v.key)
+		block, _ := hex.DecodeString(v.p)
+		var got string
+		if v.variant == 64 {
+			got = fmt.Sprintf("%x", run64("encrypt", "table", key, block))
+		} else {
+			got = fmt.Sprintf("%x", run128("encrypt", "table", key, block))
+		}
+		status := "ok"
+		if got != v.c {
+			status = "FAIL (got " + got + ")"
+			ok = false
+		}
+		fmt.Printf("GIFT-%-3d key=%s pt=%s ct=%s %s\n", v.variant, v.key, v.p, v.c, status)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "giftcli: "+format+"\n", args...)
+	os.Exit(2)
+}

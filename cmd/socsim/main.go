@@ -1,0 +1,79 @@
+// Command socsim runs one probed encryption on a platform model and
+// prints the attacker's probe-window timeline — a direct view of the
+// victim/attacker race the GRINCH paper's Table II measures.
+//
+// Usage:
+//
+//	socsim -platform soc -mhz 10
+//	socsim -platform mpsoc -mhz 50 -line-bytes 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/rng"
+	"grinch/internal/soc"
+)
+
+func main() {
+	var (
+		platform  = flag.String("platform", "soc", "soc (single processor + RTOS) or mpsoc (tile mesh)")
+		primitive = flag.String("primitive", "flush-reload", "single-SoC probing primitive: flush-reload or prime-probe")
+		mhz       = flag.Uint64("mhz", 10, "clock frequency in MHz")
+		lineBytes = flag.Int("line-bytes", 1, "cache line size in bytes")
+		seed      = flag.Uint64("seed", 1, "victim key seed")
+		pt        = flag.Uint64("pt", 0x0123456789abcdef, "plaintext block")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed)
+	key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
+	params := soc.DefaultParams(*mhz)
+	params.CacheLineBytes = *lineBytes
+	switch *primitive {
+	case "flush-reload":
+		params.Primitive = soc.PrimitiveFlushReload
+	case "prime-probe":
+		params.Primitive = soc.PrimitivePrimeProbe
+	default:
+		fmt.Fprintf(os.Stderr, "socsim: unknown primitive %q\n", *primitive)
+		os.Exit(2)
+	}
+
+	var p soc.Platform
+	switch *platform {
+	case "soc":
+		p = soc.NewSingleSoC(key, params)
+	case "mpsoc":
+		m := soc.NewMPSoC(key, params)
+		fmt.Printf("remote cache access time: %v (paper: ≈400ns at 50 MHz)\n", m.RemoteAccessTime())
+		p = m
+	default:
+		fmt.Fprintf(os.Stderr, "socsim: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+
+	sess := p.RunSession(*pt)
+	fmt.Printf("platform:   %s at %d MHz, %d-byte cache lines\n", *platform, *mhz, *lineBytes)
+	fmt.Printf("plaintext:  %016x\n", *pt)
+	fmt.Printf("ciphertext: %016x\n", sess.Ciphertext)
+	fmt.Printf("probe windows (%d):\n", len(sess.Windows))
+	shown := sess.Windows
+	const maxShown = 40
+	truncated := false
+	if len(shown) > maxShown {
+		shown = shown[:maxShown]
+		truncated = true
+	}
+	for i, w := range shown {
+		fmt.Printf("  #%-3d t=%-12v rounds %2d..%-2d lines=%s\n", i+1, w.At, w.FirstRound, w.LastRound, w.Set)
+	}
+	if truncated {
+		fmt.Printf("  … %d more\n", len(sess.Windows)-maxShown)
+	}
+	fmt.Printf("earliest probed round: %d (paper Table II: SoC 2/4/8 at 10/25/50 MHz; MPSoC 1)\n",
+		sess.Windows[0].LastRound)
+}

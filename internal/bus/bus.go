@@ -1,0 +1,61 @@
+// Package bus models the shared on-chip bus of the paper's
+// single-processor SoC: one transaction at a time, FIFO arbitration, and
+// a fixed cycle cost per transfer. Requesters are simulation processes
+// that block until their transfer completes, so contention shows up as
+// virtual-time delay exactly as it would on the modelled interconnect.
+package bus
+
+import "grinch/internal/sim"
+
+// Stats accumulates bus activity.
+type Stats struct {
+	Transactions uint64
+	// BusyTime is the total time the bus spent transferring.
+	BusyTime sim.Time
+	// WaitTime is the total time requesters spent queued for the bus.
+	WaitTime sim.Time
+}
+
+// Bus is a single shared bus with FIFO arbitration.
+type Bus struct {
+	k     *sim.Kernel
+	clock sim.Clock
+	// tail is the time at which the last granted transaction releases
+	// the bus; the next requester is granted at max(now, tail).
+	tail  sim.Time
+	stats Stats
+}
+
+// New creates a bus in clock domain clock.
+func New(k *sim.Kernel, clock sim.Clock) *Bus {
+	return &Bus{k: k, clock: clock}
+}
+
+// Transact performs one bus transaction of the given length in bus
+// cycles. The calling process blocks until the transfer finishes and
+// receives the total elapsed time (queueing + transfer).
+func (b *Bus) Transact(p *sim.Proc, cycles uint64) sim.Time {
+	start := p.Now()
+	grant := start
+	if b.tail > grant {
+		grant = b.tail
+	}
+	dur := b.clock.Cycles(cycles)
+	b.tail = grant + dur
+	b.stats.Transactions++
+	b.stats.BusyTime += dur
+	b.stats.WaitTime += grant - start
+	p.WaitUntil(b.tail)
+	return b.tail - start
+}
+
+// Stats returns a copy of the counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Utilization returns BusyTime as a fraction of elapsed simulation time.
+func (b *Bus) Utilization() float64 {
+	if b.k.Now() == 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTime) / float64(b.k.Now())
+}

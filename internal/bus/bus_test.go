@@ -1,0 +1,100 @@
+package bus
+
+import (
+	"testing"
+
+	"grinch/internal/sim"
+)
+
+func TestSingleTransaction(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.ClockMHz(10) // 100 ns period
+	b := New(k, clk)
+	var elapsed sim.Time
+	k.Spawn("m", func(p *sim.Proc) {
+		elapsed = b.Transact(p, 4)
+	})
+	k.Run()
+	if want := 4 * 100 * sim.Nanosecond; elapsed != want {
+		t.Fatalf("transaction took %v, want %v", elapsed, want)
+	}
+	s := b.Stats()
+	if s.Transactions != 1 || s.WaitTime != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestContentionSerializes(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.ClockMHz(10)
+	b := New(k, clk)
+	var doneA, doneB sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		b.Transact(p, 10) // 1 µs
+		doneA = p.Now()
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		b.Transact(p, 10)
+		doneB = p.Now()
+	})
+	k.Run()
+	if doneA != sim.Microsecond {
+		t.Fatalf("first transaction finished at %v", doneA)
+	}
+	if doneB != 2*sim.Microsecond {
+		t.Fatalf("second transaction finished at %v, want serialized 2µs", doneB)
+	}
+	if w := b.Stats().WaitTime; w != sim.Microsecond {
+		t.Fatalf("wait time %v, want 1µs", w)
+	}
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.ClockMHz(50)
+	b := New(k, clk)
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		k.Spawn(name, func(p *sim.Proc) {
+			b.Transact(p, 5)
+			order = append(order, name)
+		})
+	}
+	k.Run()
+	if len(order) != 3 || order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("grant order %v", order)
+	}
+}
+
+func TestIdleGapsDoNotAccumulate(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.ClockMHz(10)
+	b := New(k, clk)
+	var second sim.Time
+	k.Spawn("m", func(p *sim.Proc) {
+		b.Transact(p, 1)
+		p.Wait(10 * sim.Microsecond) // bus idles
+		start := p.Now()
+		b.Transact(p, 1)
+		second = p.Now() - start
+	})
+	k.Run()
+	if second != 100*sim.Nanosecond {
+		t.Fatalf("post-idle transaction took %v, want 100ns (no stale tail)", second)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	k := sim.NewKernel()
+	clk := sim.ClockMHz(10)
+	b := New(k, clk)
+	k.Spawn("m", func(p *sim.Proc) {
+		b.Transact(p, 10) // busy 1µs
+		p.Wait(sim.Microsecond)
+	})
+	k.Run()
+	if u := b.Utilization(); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}

@@ -1,0 +1,98 @@
+package cache
+
+import "fmt"
+
+// Hierarchy models the two-level memory hierarchy of the paper's threat
+// model ("memory hierarchies comprising several levels of cache (e.g.,
+// L1 to L3) and DRAMs. When a cache miss occurs, data is searched
+// throughout the cache levels and eventually looked up in the DRAM") —
+// and the paper's stated future work: "further explore the effect of
+// the memory hierarchy on the effectiveness of the attack".
+//
+// The victim core owns a private L1; the attacker probes the shared L2.
+// The decisive property is *inclusion*:
+//
+//   - With an inclusive L2 (Inclusive=true), flushing an L2 line
+//     back-invalidates the victim's L1 copy, so the victim's next access
+//     must refill through L2 and the attacker sees it — Flush+Reload
+//     keeps working, at the cost of an extra level of latency.
+//
+//   - With a non-inclusive L2, the victim's L1 keeps serving hits after
+//     the attacker flushes L2. Warm table lines never touch L2 again, so
+//     the attacker's signal dies after the first few encryptions —
+//     private-L1 + non-inclusive-L2 is itself a countermeasure.
+//
+// TestHierarchyAttack{Inclusive,NonInclusive} and
+// internal/oracle.NewHierarchy turn this into the attack-level result.
+type Hierarchy struct {
+	// VictimL1 is the victim core's private first-level cache.
+	VictimL1 *Cache
+	// L2 is the shared second-level cache the attacker can probe.
+	L2 *Cache
+	// Inclusive selects whether L2 evictions and flushes
+	// back-invalidate VictimL1.
+	Inclusive bool
+	// DRAMLatency is the cycle cost beyond L2 on a full miss.
+	DRAMLatency uint64
+}
+
+// NewHierarchy builds a two-level hierarchy from L1 and L2 geometries.
+func NewHierarchy(l1, l2 Config, inclusive bool, dramLatency uint64) (*Hierarchy, error) {
+	vl1, err := New(l1)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	sl2, err := New(l2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	return &Hierarchy{VictimL1: vl1, L2: sl2, Inclusive: inclusive, DRAMLatency: dramLatency}, nil
+}
+
+// HierResult reports one victim access through the hierarchy.
+type HierResult struct {
+	// Level is 1 for an L1 hit, 2 for an L2 hit, 3 for a DRAM fill.
+	Level int
+	// Latency is the total cycle cost.
+	Latency uint64
+}
+
+// VictimAccess performs one victim read: L1, then L2, then DRAM.
+// Fills propagate into both levels. When the shared L2 evicts a line
+// under an inclusive policy, the victim's L1 copy is invalidated too.
+func (h *Hierarchy) VictimAccess(addr uint64) HierResult {
+	r1 := h.VictimL1.Access(addr)
+	if r1.Hit {
+		return HierResult{Level: 1, Latency: r1.Latency}
+	}
+	r2 := h.L2.Access(addr)
+	if h.Inclusive && r2.Eviction {
+		h.VictimL1.FlushLine(r2.Evicted)
+	}
+	if r2.Hit {
+		return HierResult{Level: 2, Latency: r1.Latency + r2.Latency}
+	}
+	return HierResult{Level: 3, Latency: r1.Latency + r2.Latency + h.DRAMLatency}
+}
+
+// AttackerFlushLine flushes a line from the shared L2 (the attacker's
+// reach). Under an inclusive policy the victim's private copy goes too;
+// under a non-inclusive policy it survives — the crux of the future-work
+// experiment.
+func (h *Hierarchy) AttackerFlushLine(addr uint64) {
+	h.L2.FlushLine(addr)
+	if h.Inclusive {
+		h.VictimL1.FlushLine(addr)
+	}
+}
+
+// AttackerProbeLine reports whether the line is resident in the shared
+// L2 (what an attacker's timed reload distinguishes) and re-warms it,
+// as a real reload would.
+func (h *Hierarchy) AttackerProbeLine(addr uint64) bool {
+	res := h.L2.Access(addr)
+	if h.Inclusive && res.Eviction {
+		h.VictimL1.FlushLine(res.Evicted)
+	}
+	return res.Hit
+}

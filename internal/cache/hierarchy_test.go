@@ -1,0 +1,118 @@
+package cache
+
+import "testing"
+
+func testHierarchy(t *testing.T, inclusive bool) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(
+		Config{Sets: 16, Ways: 2, LineBytes: 1, HitLatency: 1, MissLatency: 0, FlushLatency: 1},
+		PaperConfig(1),
+		inclusive,
+		100,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := testHierarchy(t, true)
+	// Cold: DRAM fill through both levels.
+	if r := h.VictimAccess(0x10); r.Level != 3 {
+		t.Fatalf("cold access level %d", r.Level)
+	}
+	// Warm in L1.
+	if r := h.VictimAccess(0x10); r.Level != 1 {
+		t.Fatalf("warm access level %d", r.Level)
+	}
+	// Evict from L1 only (conflict): 2-way L1, 16 sets, stride 16.
+	h.VictimAccess(0x10 + 16)
+	h.VictimAccess(0x10 + 32)
+	if r := h.VictimAccess(0x10); r.Level != 2 {
+		t.Fatalf("L1-evicted line came from level %d, want 2 (L2)", r.Level)
+	}
+}
+
+func TestHierarchyLatencyAccumulates(t *testing.T) {
+	h := testHierarchy(t, true)
+	cold := h.VictimAccess(0x40).Latency
+	warm := h.VictimAccess(0x40).Latency
+	if cold <= warm {
+		t.Fatalf("cold %d not slower than warm %d", cold, warm)
+	}
+	if cold < 100 {
+		t.Fatalf("cold access latency %d missing the DRAM cost", cold)
+	}
+}
+
+func TestInclusiveFlushReachesVictimL1(t *testing.T) {
+	h := testHierarchy(t, true)
+	h.VictimAccess(0x20)
+	h.AttackerFlushLine(0x20)
+	if h.VictimL1.Contains(0x20) {
+		t.Fatal("inclusive flush left the victim L1 copy")
+	}
+	if r := h.VictimAccess(0x20); r.Level != 3 {
+		t.Fatalf("post-flush access level %d, want 3", r.Level)
+	}
+}
+
+func TestNonInclusiveFlushLeavesVictimL1(t *testing.T) {
+	h := testHierarchy(t, false)
+	h.VictimAccess(0x20)
+	h.AttackerFlushLine(0x20)
+	if !h.VictimL1.Contains(0x20) {
+		t.Fatal("non-inclusive flush invalidated the private L1")
+	}
+	// The victim now hits its L1 — the access never reaches L2, so the
+	// attacker's next probe sees nothing. This is the future-work
+	// finding: a private L1 behind a non-inclusive L2 starves the
+	// attack of signal.
+	if r := h.VictimAccess(0x20); r.Level != 1 {
+		t.Fatalf("post-flush access level %d, want 1", r.Level)
+	}
+	if h.AttackerProbeLine(0x20) {
+		t.Fatal("L2 probe observed an access that stayed in the private L1")
+	}
+}
+
+func TestAttackerProbeObservesFirstTouch(t *testing.T) {
+	h := testHierarchy(t, true)
+	h.AttackerFlushLine(0x33)
+	if h.AttackerProbeLine(0x33) {
+		t.Fatal("flushed line reported resident")
+	}
+	h.AttackerFlushLine(0x33) // probe rewarmed it; flush again
+	h.VictimAccess(0x33)
+	if !h.AttackerProbeLine(0x33) {
+		t.Fatal("victim fill not visible in shared L2")
+	}
+}
+
+func TestInclusiveL2EvictionBackInvalidates(t *testing.T) {
+	// Fill one L2 set completely and force an eviction; the victim's L1
+	// copy of the evicted line must go too under inclusion.
+	l1 := Config{Sets: 1, Ways: 32, LineBytes: 1, HitLatency: 1, MissLatency: 0, FlushLatency: 1}
+	l2 := Config{Sets: 1, Ways: 2, LineBytes: 1, HitLatency: 4, MissLatency: 0, FlushLatency: 1}
+	h, err := NewHierarchy(l1, l2, true, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.VictimAccess(0) // resident in L1 and L2
+	h.VictimAccess(1)
+	h.VictimAccess(2) // L2 evicts line 0 (LRU) → back-invalidate
+	if h.VictimL1.Contains(0) {
+		t.Fatal("inclusive L2 eviction left a stale L1 copy")
+	}
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	bad := Config{Sets: 3, Ways: 1, LineBytes: 1}
+	if _, err := NewHierarchy(bad, PaperConfig(1), true, 10); err == nil {
+		t.Fatal("bad L1 accepted")
+	}
+	if _, err := NewHierarchy(PaperConfig(1), bad, true, 10); err == nil {
+		t.Fatal("bad L2 accepted")
+	}
+}

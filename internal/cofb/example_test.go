@@ -1,0 +1,31 @@
+package cofb_test
+
+import (
+	"fmt"
+
+	"grinch/internal/cofb"
+)
+
+// Seal and open a message with associated data.
+func ExampleAEAD_Seal() {
+	key := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	aead := cofb.New(key)
+
+	var nonce [cofb.NonceSize]byte
+	nonce[15] = 1 // never reuse a nonce under the same key
+
+	sealed := aead.Seal(nil, nonce, []byte("telemetry frame 0042"), []byte("header"))
+	opened, err := aead.Open(nil, nonce, sealed, []byte("header"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", opened)
+
+	// Tampering with any byte is detected.
+	sealed[0] ^= 1
+	_, err = aead.Open(nil, nonce, sealed, []byte("header"))
+	fmt.Println(err)
+	// Output:
+	// telemetry frame 0042
+	// cofb: message authentication failed
+}

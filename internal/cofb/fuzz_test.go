@@ -1,0 +1,38 @@
+package cofb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzSealOpen(f *testing.F) {
+	f.Add([]byte{}, []byte{}, uint64(0))
+	f.Add([]byte("hello world"), []byte("ad"), uint64(1))
+	f.Add(bytes.Repeat([]byte{0xAA}, 48), []byte{}, uint64(2))
+	f.Add(bytes.Repeat([]byte{0x55}, 17), bytes.Repeat([]byte{1}, 33), uint64(3))
+	f.Fuzz(func(t *testing.T, pt, ad []byte, nseed uint64) {
+		var key [16]byte
+		key[0] = byte(nseed)
+		a := New(key)
+		var nonce [NonceSize]byte
+		for i := range nonce {
+			nonce[i] = byte(nseed >> (8 * (uint(i) % 8)))
+		}
+		ct := a.Seal(nil, nonce, pt, ad)
+		got, err := a.Open(nil, nonce, ct, ad)
+		if err != nil {
+			t.Fatalf("Open rejected its own Seal: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("round trip mismatch: %x vs %x", got, pt)
+		}
+		// Any single-byte corruption must be rejected.
+		if len(ct) > 0 {
+			mutated := append([]byte(nil), ct...)
+			mutated[int(nseed)%len(mutated)] ^= 0x80
+			if _, err := a.Open(nil, nonce, mutated, ad); err == nil {
+				t.Fatal("corrupted ciphertext accepted")
+			}
+		}
+	})
+}

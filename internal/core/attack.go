@@ -1,0 +1,544 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/gift"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+// logRatio returns log(a)/log(b) for a, b in (0,1).
+func logRatio(a, b float64) float64 {
+	return math.Log(a) / math.Log(b)
+}
+
+// Config tunes the attack.
+type Config struct {
+	// MaxObservationsPerTarget caps the encryptions spent on one
+	// (segment, hypothesis) elimination before giving up. Default 1<<20
+	// — high enough that TotalBudget, not this cap, normally decides
+	// when a saturated channel is abandoned (an 8-word line needs ~33k
+	// observations per segment at the cleanest probing round).
+	MaxObservationsPerTarget uint64
+	// MinObservations is the floor before convergence is accepted;
+	// guards against an early accidental single candidate under
+	// non-strict thresholds. Default 4.
+	MinObservations uint64
+	// Threshold is the appearance ratio a line needs to stay candidate
+	// (1 = strict intersection, the paper's noise-free setting).
+	// Default 1.
+	Threshold float64
+	// TotalBudget aborts the attack once the channel has performed this
+	// many encryptions (0 = unlimited). The paper drops experiments
+	// past 1M encryptions as impractical.
+	TotalBudget uint64
+	// Seed drives plaintext randomization.
+	Seed uint64
+	// Progress, when set, receives one event per finished segment
+	// elimination (CLI verbose output).
+	Progress ProgressFunc
+}
+
+// ProgressFunc observes attack progress: one call per segment whose
+// elimination finished, successful or not.
+type ProgressFunc func(cipher string, round, segment int, converged bool, line int, observations uint64)
+
+func (c Config) withDefaults() Config {
+	if c.MaxObservationsPerTarget == 0 {
+		c.MaxObservationsPerTarget = 1 << 20
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = 4
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 1
+	}
+	return c
+}
+
+// ErrBudgetExceeded aborts an attack that passed Config.TotalBudget.
+var ErrBudgetExceeded = errors.New("core: encryption budget exceeded")
+
+// ErrNoConvergence marks a target whose candidate set never reached a
+// single line (saturated observation channel).
+var ErrNoConvergence = errors.New("core: candidate elimination did not converge")
+
+// Attacker drives the GRINCH attack over an observation channel.
+type Attacker struct {
+	ch        probe.Channel
+	cfg       Config
+	rng       *rng.Source
+	lineWords int
+}
+
+// NewAttacker builds an attacker. The channel's line count must divide
+// the 16-entry table; a single-line table (16 entries per line) carries
+// no index information and is rejected — that is exactly the paper's
+// first countermeasure.
+func NewAttacker(ch probe.Channel, cfg Config) (*Attacker, error) {
+	lines := ch.Lines()
+	if lines < 2 || 16%lines != 0 {
+		return nil, fmt.Errorf("core: channel exposes %d table lines; the attack needs 2..16 dividing 16", lines)
+	}
+	cfg = cfg.withDefaults()
+	return &Attacker{
+		ch:        ch,
+		cfg:       cfg,
+		rng:       rng.New(cfg.Seed),
+		lineWords: 16 / lines,
+	}, nil
+}
+
+// LineWords returns how many table entries share a cache line on this
+// channel.
+func (a *Attacker) LineWords() int { return a.lineWords }
+
+// Encryptions returns the channel's total encryption count.
+func (a *Attacker) Encryptions() uint64 { return a.ch.Encryptions() }
+
+// overBudget reports whether the total budget is exhausted.
+func (a *Attacker) overBudget() bool {
+	return a.cfg.TotalBudget > 0 && a.ch.Encryptions() >= a.cfg.TotalBudget
+}
+
+// progress emits a ProgressFunc event if one is configured.
+func (a *Attacker) progress(cipher string, round, segment int, converged bool, line int, obs uint64) {
+	if a.cfg.Progress != nil {
+		a.cfg.Progress(cipher, round, segment, converged, line, obs)
+	}
+}
+
+// TargetOutcome is the result of attacking one segment under one
+// crafting hypothesis.
+type TargetOutcome struct {
+	Spec TargetSpec
+	// Line is the converged table line (-1 if not converged).
+	Line int
+	// Pairs lists the candidate (v | u<<1) key-bit pairs consistent
+	// with Line (1, 2 or 4 entries depending on line width).
+	Pairs []uint8
+	// Observations is the number of encryptions this elimination used.
+	Observations uint64
+	Converged    bool
+	// Exhausted means every candidate was eliminated — the signature of
+	// a wrong crafting hypothesis.
+	Exhausted bool
+	// Infeasible means the elimination converged on a line the pinned
+	// target cannot produce: a noise line outlasted every other line by
+	// chance, which also indicates a wrong hypothesis.
+	Infeasible bool
+}
+
+// AttackTarget runs paper Steps 1-4 for one target: craft plaintexts,
+// collect probes, eliminate candidates, and reverse-engineer the key-bit
+// candidates from the surviving line. rks supplies the round keys used
+// for crafting (empty for Round == 1); hypothesized bits may be wrong,
+// in which case the elimination exhausts (or converges infeasibly) and
+// the outcome reports it.
+func (a *Attacker) AttackTarget(spec TargetSpec, rks []gift.RoundKey64) TargetOutcome {
+	return a.attackTarget(spec, rks, false)
+}
+
+// attackTarget optionally confirms a convergence by persistence: when a
+// crafting hypothesis is under test, a noise line can survive every
+// observation by chance and fake a convergence, so the surviving line
+// must additionally stay the sole candidate for an adaptively-chosen
+// number of extra observations before it is believed.
+func (a *Attacker) attackTarget(spec TargetSpec, rks []gift.RoundKey64, confirm bool) TargetOutcome {
+	elim := NewEliminator(a.ch.Lines(), a.cfg.Threshold)
+	feasible := spec.FeasibleLines(a.lineWords)
+	out := TargetOutcome{Spec: spec, Line: -1}
+	var confirmLeft uint64
+	confirming := false
+
+	masked, _ := a.ch.(probe.MaskedChannel)
+	for elim.Observations() < a.cfg.MaxObservationsPerTarget && !a.overBudget() {
+		pt := spec.CraftPlaintext(a.rng, rks)
+		if masked != nil {
+			set, mask := masked.CollectMasked(pt, spec.Round)
+			elim.ObserveMasked(set, mask)
+		} else {
+			elim.Observe(a.ch.Collect(pt, spec.Round))
+		}
+
+		// Under strict intersection an empty candidate set is
+		// definitive at any point; with a tolerant threshold it is only
+		// meaningful once enough observations have accumulated.
+		if elim.Exhausted() && (a.cfg.Threshold == 1 || elim.Observations() >= a.cfg.MinObservations) {
+			out.Exhausted = true
+			break
+		}
+		line, ok := elim.Converged(a.cfg.MinObservations)
+		if !ok {
+			confirming = false
+			continue
+		}
+		if !feasible.Contains(line) {
+			out.Infeasible = true
+			break
+		}
+		if !confirm {
+			out.Line = line
+			out.Converged = true
+			break
+		}
+		if !confirming {
+			confirming = true
+			confirmLeft = a.confirmSpan(elim, line)
+		}
+		if confirmLeft == 0 {
+			out.Line = line
+			out.Converged = true
+			break
+		}
+		confirmLeft--
+	}
+	if out.Converged {
+		out.Pairs = spec.PairsForLine(out.Line, a.lineWords)
+	}
+	out.Observations = elim.Observations()
+	return out
+}
+
+// worstPinShare is the largest fraction of crafted inputs for which a
+// wrongly-hypothesized parent still yields the pinned output bit: over
+// all output bits j and input differences e ≠ 0, the share of x in
+// {SBox[x] bit j = 1} with SBox[x⊕e] bit j = 1. It bounds how much
+// residual signal a wrong hypothesis can leave on the expected line, and
+// therefore how slowly a fake survivor can die.
+var worstPinShare = computeWorstPinShare()
+
+func computeWorstPinShare() float64 {
+	best := 0
+	for j := 0; j < 4; j++ {
+		list := sboxBitList(j)
+		for e := uint8(1); e < 16; e++ {
+			hits := 0
+			for _, x := range list {
+				if gift.SBox[x^e]>>j&1 == 1 {
+					hits++
+				}
+			}
+			if hits > best && hits < len(list) {
+				best = hits
+			}
+		}
+	}
+	return float64(best) / 8
+}
+
+// confirmSpan picks how many extra all-present observations a surviving
+// line must endure before a hypothesis is accepted. Under a wrong
+// hypothesis the expected line still receives signal on a worstPinShare
+// fraction of encryptions and noise cover otherwise, so it dies at rate
+// ≥ (1−worstPinShare)·(1−p̂) per observation, where p̂ is the noise
+// presence ratio estimated from the strongest eliminated competitor.
+// Demanding survival over K = log(fp)/log(1−rate) extra observations
+// bounds the hypothesis false-positive rate by fp.
+func (a *Attacker) confirmSpan(elim *Eliminator, line int) uint64 {
+	var pMax float64
+	for l := 0; l < a.ch.Lines(); l++ {
+		if l == line {
+			continue
+		}
+		if p := elim.PresenceRatio(l); p > pMax {
+			pMax = p
+		}
+	}
+	if pMax > 0.999 {
+		pMax = 0.999
+	}
+	deathRate := (1 - worstPinShare) * (1 - pMax)
+	const fpRate = 1e-4
+	k := uint64(logRatio(fpRate, 1-deathRate)) + 1
+	if limit := a.cfg.MaxObservationsPerTarget; k > limit {
+		k = limit
+	}
+	return k
+}
+
+// RoundOutcome is the result of attacking all 16 segments of one round
+// key.
+type RoundOutcome struct {
+	Round int
+	// Cands[g] lists candidate (v | u<<1) pairs for segment g of round
+	// key Round. Single-entry lists mean the segment is resolved.
+	Cands [16][]uint8
+	// ConfirmedPrev holds the resolved pair per segment of round key
+	// Round-1, when this pass disambiguated a pending previous round
+	// (entries are 0..3; only meaningful when PrevResolved is true).
+	ConfirmedPrev [16]uint8
+	PrevResolved  bool
+	// Encryptions is the channel usage of this pass alone.
+	Encryptions uint64
+}
+
+// Unique reports whether every segment resolved to a single key-bit
+// pair, and returns the round key if so.
+func (r RoundOutcome) Unique() (gift.RoundKey64, bool) {
+	var pairs [16]uint8
+	for g, c := range r.Cands {
+		if len(c) != 1 {
+			return gift.RoundKey64{}, false
+		}
+		pairs[g] = c[0]
+	}
+	return roundKeyFromPairs(r.Round, pairs), true
+}
+
+// roundKeyFromPairs assembles a round key from per-segment (v|u<<1)
+// pairs.
+func roundKeyFromPairs(round int, pairs [16]uint8) gift.RoundKey64 {
+	var rk gift.RoundKey64
+	for g, p := range pairs {
+		rk.V |= uint16(p&1) << g
+		rk.U |= uint16(p>>1&1) << g
+	}
+	rk.Const = gift.RoundConstants[round-1]
+	return rk
+}
+
+// observableShift returns how many low index bits the line granularity
+// hides (0 for 1-word lines).
+func (a *Attacker) observableShift() int {
+	s := 0
+	for w := a.lineWords; w > 1; w >>= 1 {
+		s++
+	}
+	return s
+}
+
+// AttackRound attacks round key t across all 16 segments (paper Step 5
+// iterates this over rounds). resolved must hold the fully-recovered
+// round keys 1..t-2 (or 1..t-1 when prevCands is nil); prevCands, when
+// non-nil, holds the still-ambiguous candidate pairs for round key t-1
+// left over from the previous pass under a wide cache line. The pass
+// then both recovers round-t candidates and disambiguates round t-1:
+// wrong parent hypotheses destroy the crafted pinning, so their
+// eliminations exhaust instead of converging (paper §III-D, "assume all
+// possibilities").
+func (a *Attacker) AttackRound(t int, resolved []gift.RoundKey64, prevCands *[16][]uint8) (RoundOutcome, error) {
+	if t >= 2 {
+		need := t - 1
+		if prevCands != nil {
+			need = t - 2
+		}
+		if len(resolved) < need {
+			return RoundOutcome{}, fmt.Errorf("core: attacking round %d needs %d resolved round keys, have %d", t, need, len(resolved))
+		}
+	}
+
+	out := RoundOutcome{Round: t}
+	start := a.ch.Encryptions()
+
+	// confirmed[seg] holds the proven pair for segment seg of round key
+	// t-1; -1 = not yet proven.
+	var confirmed [16]int8
+	for i := range confirmed {
+		confirmed[i] = -1
+	}
+
+	obsShift := a.observableShift()
+
+	for g := 0; g < gift.Segments64; g++ {
+		spec := NewTarget64(t, g)
+
+		if prevCands == nil {
+			// Crafting needs no hypotheses: earlier rounds are resolved
+			// (or this is round 1 and sources are plaintext segments).
+			o := a.AttackTarget(spec, resolved[:max(t-1, 0)])
+			a.progress("GIFT-64", t, g, o.Converged, o.Line, o.Observations)
+			if !o.Converged {
+				return out, a.targetErr(spec, o)
+			}
+			out.Cands[g] = o.Pairs
+			continue
+		}
+
+		// Enumerate hypotheses for the parents whose wrongness is
+		// observable: a wrong pair on the parent feeding index bit j
+		// makes that bit vary, which changes the observed line only
+		// when j is above the intra-line bits.
+		parents := spec.ParentSegments()
+		var enumPos []int
+		for j := obsShift; j < 4; j++ {
+			enumPos = append(enumPos, j)
+		}
+
+		options := make([][]uint8, len(enumPos))
+		for i, j := range enumPos {
+			seg := parents[j]
+			if confirmed[seg] >= 0 {
+				options[i] = []uint8{uint8(confirmed[seg])}
+			} else {
+				options[i] = (*prevCands)[seg]
+			}
+		}
+
+		won := false
+		for _, combo := range cartesian(options) {
+			pairs := a.baselinePairs(prevCands, &confirmed)
+			for i, j := range enumPos {
+				pairs[parents[j]] = combo[i]
+			}
+			rkPrev := roundKeyFromPairs(t-1, pairs)
+			rks := append(append([]gift.RoundKey64{}, resolved[:t-2]...), rkPrev)
+			o := a.attackTarget(spec, rks, true)
+			if !o.Converged {
+				if a.overBudget() {
+					return out, ErrBudgetExceeded
+				}
+				continue
+			}
+			// First (and only) converging combo: confirm the
+			// enumerated parents and record round-t candidates.
+			for i, j := range enumPos {
+				confirmed[parents[j]] = int8(combo[i])
+			}
+			out.Cands[g] = o.Pairs
+			a.progress("GIFT-64", t, g, true, o.Line, o.Observations)
+			won = true
+			break
+		}
+		if !won {
+			a.progress("GIFT-64", t, g, false, -1, 0)
+			return out, fmt.Errorf("core: round %d segment %d: no crafting hypothesis converged (%w)", t, g, ErrNoConvergence)
+		}
+	}
+
+	if prevCands != nil {
+		for seg, c := range confirmed {
+			if c < 0 {
+				// Every segment feeds index bit 3 of exactly one target,
+				// and bit 3 is observable for any line width up to 8
+				// words — so full coverage is structural.
+				return out, fmt.Errorf("core: round %d left segment %d of round %d unresolved", t, seg, t-1)
+			}
+			out.ConfirmedPrev[seg] = uint8(confirmed[seg])
+		}
+		out.PrevResolved = true
+	}
+	out.Encryptions = a.ch.Encryptions() - start
+	return out, nil
+}
+
+// baselinePairs picks an arbitrary candidate for every segment
+// (confirmed values where available): segments whose hypotheses are
+// unobservable for the current target only perturb already-random
+// state, so any choice works.
+func (a *Attacker) baselinePairs(prevCands *[16][]uint8, confirmed *[16]int8) [16]uint8 {
+	var pairs [16]uint8
+	for seg := 0; seg < 16; seg++ {
+		if confirmed[seg] >= 0 {
+			pairs[seg] = uint8(confirmed[seg])
+		} else if len(prevCands[seg]) > 0 {
+			pairs[seg] = prevCands[seg][0]
+		}
+	}
+	return pairs
+}
+
+func (a *Attacker) targetErr(spec TargetSpec, o TargetOutcome) error {
+	if a.overBudget() {
+		return ErrBudgetExceeded
+	}
+	return fmt.Errorf("core: round %d segment %d: %d observations, %w",
+		spec.Round, spec.Segment, o.Observations, ErrNoConvergence)
+}
+
+// cartesian enumerates the cartesian product of the option lists.
+func cartesian(options [][]uint8) [][]uint8 {
+	combos := [][]uint8{nil}
+	for _, opts := range options {
+		var next [][]uint8
+		for _, c := range combos {
+			for _, o := range opts {
+				nc := make([]uint8, len(c), len(c)+1)
+				copy(nc, c)
+				next = append(next, append(nc, o))
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// KeyResult is a completed key recovery.
+type KeyResult struct {
+	// Key is the recovered 128-bit master key.
+	Key bitutil.Word128
+	// RoundKeys are the four recovered round keys (rounds 1..4), which
+	// together contain every master-key bit exactly once.
+	RoundKeys [4]gift.RoundKey64
+	// Encryptions is the total victim encryptions consumed (the paper's
+	// headline metric: < 400 under the best probing conditions).
+	Encryptions uint64
+	// RoundsAttacked is how many round passes ran (4 for 1-word lines,
+	// 5 when wide lines forced a disambiguation pass).
+	RoundsAttacked int
+}
+
+// RecoverKey runs the full GRINCH attack: it attacks rounds 1..4 (plus a
+// fifth disambiguation pass when the cache line hides index bits) and
+// reassembles the 128-bit master key from the four recovered round keys.
+func (a *Attacker) RecoverKey() (KeyResult, error) {
+	var res KeyResult
+	start := a.ch.Encryptions()
+
+	var resolved []gift.RoundKey64
+	var pending *[16][]uint8
+	passes := 0
+	t := 1
+	for len(resolved) < 4 {
+		if t > 8 {
+			return res, fmt.Errorf("core: no resolution after %d round passes", passes)
+		}
+		passes++
+		out, err := a.AttackRound(t, resolved, pending)
+		if err != nil {
+			return res, err
+		}
+		if pending != nil {
+			resolved = append(resolved, roundKeyFromPairs(t-1, out.ConfirmedPrev))
+			pending = nil
+		}
+		if len(resolved) >= 4 {
+			break
+		}
+		if rk, ok := out.Unique(); ok {
+			resolved = append(resolved, rk)
+		} else {
+			cands := out.Cands
+			pending = &cands
+		}
+		t++
+	}
+
+	copy(res.RoundKeys[:], resolved[:4])
+	res.Key = AssembleKey(res.RoundKeys)
+	res.Encryptions = a.ch.Encryptions() - start
+	res.RoundsAttacked = passes
+	return res, nil
+}
+
+// AssembleKey rebuilds the master key from the first four round keys:
+// round t consumes limbs k_{2t-1} (U) and k_{2t-2} (V) of the original
+// key state (see gift.ExpandKey64).
+func AssembleKey(rks [4]gift.RoundKey64) bitutil.Word128 {
+	var key bitutil.Word128
+	for t, rk := range rks {
+		key = key.SetWord16(uint(2*t), rk.V)
+		key = key.SetWord16(uint(2*t+1), rk.U)
+	}
+	return key
+}
+
+// Verify checks a recovered key against one known plaintext/ciphertext
+// pair.
+func Verify(key bitutil.Word128, pt, ct uint64) bool {
+	return gift.NewCipher64FromWord(key).EncryptBlock(pt) == ct
+}

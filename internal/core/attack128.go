@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/gift"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+// Channel128 is the GIFT-128 observation channel, mirroring
+// probe.Channel with a 128-bit plaintext.
+type Channel128 interface {
+	Collect(pt bitutil.Word128, targetRound int) probe.LineSet
+	Lines() int
+	Encryptions() uint64
+}
+
+// Attacker128 drives the GRINCH attack against a GIFT-128 victim.
+type Attacker128 struct {
+	ch        Channel128
+	cfg       Config
+	rng       *rng.Source
+	lineWords int
+}
+
+// NewAttacker128 builds a GIFT-128 attacker.
+func NewAttacker128(ch Channel128, cfg Config) (*Attacker128, error) {
+	lines := ch.Lines()
+	if lines < 2 || 16%lines != 0 {
+		return nil, fmt.Errorf("core: channel exposes %d table lines; the attack needs 2..16 dividing 16", lines)
+	}
+	cfg = cfg.withDefaults()
+	return &Attacker128{
+		ch:        ch,
+		cfg:       cfg,
+		rng:       rng.New(cfg.Seed),
+		lineWords: 16 / lines,
+	}, nil
+}
+
+// Encryptions returns the channel's total encryption count.
+func (a *Attacker128) Encryptions() uint64 { return a.ch.Encryptions() }
+
+func (a *Attacker128) overBudget() bool {
+	return a.cfg.TotalBudget > 0 && a.ch.Encryptions() >= a.cfg.TotalBudget
+}
+
+func (a *Attacker128) observableShift() int {
+	s := 0
+	for w := a.lineWords; w > 1; w >>= 1 {
+		s++
+	}
+	return s
+}
+
+// TargetOutcome128 mirrors TargetOutcome.
+type TargetOutcome128 struct {
+	Spec         TargetSpec128
+	Line         int
+	Pairs        []uint8
+	Observations uint64
+	Converged    bool
+	Exhausted    bool
+	Infeasible   bool
+}
+
+// AttackTarget128 runs the crafted-elimination loop for one GIFT-128
+// segment (see Attacker.AttackTarget for the semantics).
+func (a *Attacker128) AttackTarget128(spec TargetSpec128, rks []gift.RoundKey128) TargetOutcome128 {
+	return a.attackTarget128(spec, rks, false)
+}
+
+func (a *Attacker128) attackTarget128(spec TargetSpec128, rks []gift.RoundKey128, confirm bool) TargetOutcome128 {
+	elim := NewEliminator(a.ch.Lines(), a.cfg.Threshold)
+	feasible := spec.FeasibleLines(a.lineWords)
+	out := TargetOutcome128{Spec: spec, Line: -1}
+	var confirmLeft uint64
+	confirming := false
+
+	for elim.Observations() < a.cfg.MaxObservationsPerTarget && !a.overBudget() {
+		pt := spec.CraftPlaintext(a.rng, rks)
+		elim.Observe(a.ch.Collect(pt, spec.Round))
+
+		if elim.Exhausted() && (a.cfg.Threshold == 1 || elim.Observations() >= a.cfg.MinObservations) {
+			out.Exhausted = true
+			break
+		}
+		line, ok := elim.Converged(a.cfg.MinObservations)
+		if !ok {
+			confirming = false
+			continue
+		}
+		if !feasible.Contains(line) {
+			out.Infeasible = true
+			break
+		}
+		if !confirm {
+			out.Line = line
+			out.Converged = true
+			break
+		}
+		if !confirming {
+			confirming = true
+			confirmLeft = a.confirmSpan128(elim, line)
+		}
+		if confirmLeft == 0 {
+			out.Line = line
+			out.Converged = true
+			break
+		}
+		confirmLeft--
+	}
+	if out.Converged {
+		out.Pairs = spec.PairsForLine(out.Line, a.lineWords)
+	}
+	out.Observations = elim.Observations()
+	return out
+}
+
+// confirmSpan128 mirrors Attacker.confirmSpan (the S-box, and hence
+// worstPinShare, is shared between the variants).
+func (a *Attacker128) confirmSpan128(elim *Eliminator, line int) uint64 {
+	var pMax float64
+	for l := 0; l < a.ch.Lines(); l++ {
+		if l == line {
+			continue
+		}
+		if p := elim.PresenceRatio(l); p > pMax {
+			pMax = p
+		}
+	}
+	if pMax > 0.999 {
+		pMax = 0.999
+	}
+	deathRate := (1 - worstPinShare) * (1 - pMax)
+	const fpRate = 1e-4
+	k := uint64(logRatio(fpRate, 1-deathRate)) + 1
+	if limit := a.cfg.MaxObservationsPerTarget; k > limit {
+		k = limit
+	}
+	return k
+}
+
+// RoundOutcome128 mirrors RoundOutcome with 32 segments.
+type RoundOutcome128 struct {
+	Round         int
+	Cands         [32][]uint8
+	ConfirmedPrev [32]uint8
+	PrevResolved  bool
+	Encryptions   uint64
+}
+
+// Unique reports whether every segment resolved to a single pair.
+func (r RoundOutcome128) Unique() (gift.RoundKey128, bool) {
+	var pairs [32]uint8
+	for g, c := range r.Cands {
+		if len(c) != 1 {
+			return gift.RoundKey128{}, false
+		}
+		pairs[g] = c[0]
+	}
+	return roundKeyFromPairs128(r.Round, pairs), true
+}
+
+func roundKeyFromPairs128(round int, pairs [32]uint8) gift.RoundKey128 {
+	var rk gift.RoundKey128
+	for g, p := range pairs {
+		rk.V |= uint32(p&1) << g
+		rk.U |= uint32(p>>1&1) << g
+	}
+	rk.Const = gift.RoundConstants[round-1]
+	return rk
+}
+
+// AttackRound128 attacks round key t across all 32 segments, with the
+// same hypothesis machinery as the GIFT-64 path.
+func (a *Attacker128) AttackRound128(t int, resolved []gift.RoundKey128, prevCands *[32][]uint8) (RoundOutcome128, error) {
+	if t >= 2 {
+		need := t - 1
+		if prevCands != nil {
+			need = t - 2
+		}
+		if len(resolved) < need {
+			return RoundOutcome128{}, fmt.Errorf("core: attacking round %d needs %d resolved round keys, have %d", t, need, len(resolved))
+		}
+	}
+
+	out := RoundOutcome128{Round: t}
+	start := a.ch.Encryptions()
+
+	var confirmed [32]int8
+	for i := range confirmed {
+		confirmed[i] = -1
+	}
+	obsShift := a.observableShift()
+
+	for g := 0; g < gift.Segments128; g++ {
+		spec := NewTarget128(t, g)
+
+		if prevCands == nil {
+			o := a.AttackTarget128(spec, resolved[:max(t-1, 0)])
+			if !o.Converged {
+				if a.overBudget() {
+					return out, ErrBudgetExceeded
+				}
+				return out, fmt.Errorf("core: round %d segment %d: %d observations, %w",
+					t, g, o.Observations, ErrNoConvergence)
+			}
+			out.Cands[g] = o.Pairs
+			continue
+		}
+
+		parents := spec.ParentSegments()
+		var enumPos []int
+		for j := obsShift; j < 4; j++ {
+			enumPos = append(enumPos, j)
+		}
+		options := make([][]uint8, len(enumPos))
+		for i, j := range enumPos {
+			seg := parents[j]
+			if confirmed[seg] >= 0 {
+				options[i] = []uint8{uint8(confirmed[seg])}
+			} else {
+				options[i] = (*prevCands)[seg]
+			}
+		}
+
+		won := false
+		for _, combo := range cartesian(options) {
+			var pairs [32]uint8
+			for seg := 0; seg < 32; seg++ {
+				if confirmed[seg] >= 0 {
+					pairs[seg] = uint8(confirmed[seg])
+				} else if len(prevCands[seg]) > 0 {
+					pairs[seg] = prevCands[seg][0]
+				}
+			}
+			for i, j := range enumPos {
+				pairs[parents[j]] = combo[i]
+			}
+			rkPrev := roundKeyFromPairs128(t-1, pairs)
+			rks := append(append([]gift.RoundKey128{}, resolved[:t-2]...), rkPrev)
+			o := a.attackTarget128(spec, rks, true)
+			if !o.Converged {
+				if a.overBudget() {
+					return out, ErrBudgetExceeded
+				}
+				continue
+			}
+			for i, j := range enumPos {
+				confirmed[parents[j]] = int8(combo[i])
+			}
+			out.Cands[g] = o.Pairs
+			won = true
+			break
+		}
+		if !won {
+			return out, fmt.Errorf("core: round %d segment %d: no crafting hypothesis converged (%w)", t, g, ErrNoConvergence)
+		}
+	}
+
+	if prevCands != nil {
+		for seg, c := range confirmed {
+			if c < 0 {
+				return out, fmt.Errorf("core: round %d left segment %d of round %d unresolved", t, seg, t-1)
+			}
+			out.ConfirmedPrev[seg] = uint8(confirmed[seg])
+		}
+		out.PrevResolved = true
+	}
+	out.Encryptions = a.ch.Encryptions() - start
+	return out, nil
+}
+
+// KeyResult128 is a completed GIFT-128 key recovery.
+type KeyResult128 struct {
+	Key            bitutil.Word128
+	RoundKeys      [2]gift.RoundKey128
+	Encryptions    uint64
+	RoundsAttacked int
+}
+
+// RecoverKey128 runs the full attack: GIFT-128 consumes all 128 key
+// bits in just two rounds (64 per round), so two passes suffice — three
+// when wide lines force a disambiguation pass.
+func (a *Attacker128) RecoverKey128() (KeyResult128, error) {
+	var res KeyResult128
+	start := a.ch.Encryptions()
+
+	var resolved []gift.RoundKey128
+	var pending *[32][]uint8
+	passes := 0
+	t := 1
+	for len(resolved) < 2 {
+		if t > 6 {
+			return res, fmt.Errorf("core: no resolution after %d round passes", passes)
+		}
+		passes++
+		out, err := a.AttackRound128(t, resolved, pending)
+		if err != nil {
+			return res, err
+		}
+		if pending != nil {
+			resolved = append(resolved, roundKeyFromPairs128(t-1, out.ConfirmedPrev))
+			pending = nil
+		}
+		if len(resolved) >= 2 {
+			break
+		}
+		if rk, ok := out.Unique(); ok {
+			resolved = append(resolved, rk)
+		} else {
+			cands := out.Cands
+			pending = &cands
+		}
+		t++
+	}
+
+	copy(res.RoundKeys[:], resolved[:2])
+	res.Key = AssembleKey128(res.RoundKeys)
+	res.Encryptions = a.ch.Encryptions() - start
+	res.RoundsAttacked = passes
+	return res, nil
+}
+
+// AssembleKey128 rebuilds the master key from the first two round keys:
+// round 1 consumes U = k5‖k4 and V = k1‖k0, round 2 consumes U = k7‖k6
+// and V = k3‖k2 (see gift.ExpandKey128).
+func AssembleKey128(rks [2]gift.RoundKey128) bitutil.Word128 {
+	var key bitutil.Word128
+	key = key.SetWord16(0, uint16(rks[0].V))
+	key = key.SetWord16(1, uint16(rks[0].V>>16))
+	key = key.SetWord16(4, uint16(rks[0].U))
+	key = key.SetWord16(5, uint16(rks[0].U>>16))
+	key = key.SetWord16(2, uint16(rks[1].V))
+	key = key.SetWord16(3, uint16(rks[1].V>>16))
+	key = key.SetWord16(6, uint16(rks[1].U))
+	key = key.SetWord16(7, uint16(rks[1].U>>16))
+	return key
+}
+
+// Verify128 checks a recovered key against one known block pair.
+func Verify128(key bitutil.Word128, pt, ct bitutil.Word128) bool {
+	return gift.NewCipher128FromWord(key).EncryptBlock(pt) == ct
+}

@@ -1,0 +1,308 @@
+package core
+
+// GRINCH-P: the GRINCH methodology adapted to PRESENT, the cipher GIFT
+// was designed to replace (paper §II). PRESENT XORs its round key into
+// the whole state *before* SubCells, so a pinned S-box access leaks all
+// four index bits as key bits — twice GIFT's yield per segment — and the
+// crafting step is simpler (the target segment of the round input is set
+// directly instead of through inverse-permuted source bits). Two
+// attacked rounds expose K1 and K2, from which the 80-bit master key is
+// reconstructed by inverting the key schedule (present.RecoverKey80).
+//
+// The comparison quantifies the paper's point from the other side:
+// table-based PRESENT software is strictly easier prey for an
+// access-driven attacker than GIFT, whose AddRoundKey touches only two
+// bits per segment.
+
+import (
+	"fmt"
+
+	"grinch/internal/present"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+// ChannelP is the PRESENT observation channel. The signal round for
+// round key t is round t itself (key-first ordering), so Collect's
+// window starts at targetRound rather than targetRound+1.
+type ChannelP interface {
+	Collect(pt uint64, targetRound int) probe.LineSet
+	Lines() int
+	Encryptions() uint64
+}
+
+// TargetSpecP pins one PRESENT S-box access: segment Segment of the
+// round-Round input state is fixed to 0xF, so the observed index is
+// 0xF ⊕ K_Round[Segment].
+type TargetSpecP struct {
+	Round   int
+	Segment int
+}
+
+// NewTargetP builds a PRESENT target.
+func NewTargetP(t, g int) TargetSpecP {
+	if t < 1 || t > present.Rounds {
+		panic(fmt.Sprintf("core: round %d out of range", t))
+	}
+	if g < 0 || g >= present.Segments {
+		panic(fmt.Sprintf("core: segment %d out of range", g))
+	}
+	return TargetSpecP{Round: t, Segment: g}
+}
+
+// ExpectedIndex returns the observed index for round-key nibble val.
+func (t TargetSpecP) ExpectedIndex(val uint8) uint8 {
+	return pinnedValue ^ val&0xf
+}
+
+// KeyNibble reverse-engineers the round-key nibble from an observed
+// index.
+func (t TargetSpecP) KeyNibble(index uint8) uint8 {
+	return index ^ pinnedValue
+}
+
+// NibblesForLine returns the candidate key nibbles consistent with an
+// observed line under the given line width.
+func (t TargetSpecP) NibblesForLine(line, lineWords int) []uint8 {
+	var out []uint8
+	for v := uint8(0); v < 16; v++ {
+		if int(t.ExpectedIndex(v))/lineWords == line {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CraftState builds the round-Round input with the target segment
+// pinned to 0xF and every other segment random.
+func (t TargetSpecP) CraftState(r *rng.Source) uint64 {
+	var state uint64
+	for seg := uint(0); seg < present.Segments; seg++ {
+		if int(seg) == t.Segment {
+			state |= uint64(pinnedValue) << (4 * seg)
+		} else {
+			state |= r.Nibble() << (4 * seg)
+		}
+	}
+	return state
+}
+
+// CraftPlaintext inverts rounds Round-1..1 with the known (or
+// hypothesized) round keys.
+func (t TargetSpecP) CraftPlaintext(r *rng.Source, rks []uint64) uint64 {
+	state := t.CraftState(r)
+	if t.Round == 1 {
+		return state
+	}
+	if len(rks) < t.Round-1 {
+		panic(fmt.Sprintf("core: crafting round %d needs %d round keys, have %d",
+			t.Round, t.Round-1, len(rks)))
+	}
+	return present.PartialDecrypt(state, rks, t.Round-1)
+}
+
+// ParentSegments returns the round-(Round-1) S-boxes feeding the target
+// segment's four input bits, indexed by target bit position: pinning
+// s_t[g] through InvRound depends on those S-boxes' round-(Round-1) key
+// nibbles.
+func (t TargetSpecP) ParentSegments() [4]int {
+	var out [4]int
+	for j := 0; j < 4; j++ {
+		out[j] = int(present.InvPerm[4*t.Segment+j]) / 4
+	}
+	return out
+}
+
+// worstPinShareP mirrors worstPinShare for the PRESENT S-box: the
+// largest probability (over uniform x) that a wrong key hypothesis on a
+// parent leaves one chosen output bit of S(x⊕e) equal to that of S(x).
+var worstPinShareP = computeWorstPinShareP()
+
+func computeWorstPinShareP() float64 {
+	best := 0
+	for o := 0; o < 4; o++ {
+		for e := uint8(1); e < 16; e++ {
+			same := 0
+			for x := uint8(0); x < 16; x++ {
+				if (present.SBox[x]^present.SBox[x^e])>>o&1 == 0 {
+					same++
+				}
+			}
+			if same > best && same < 16 {
+				best = same
+			}
+		}
+	}
+	return float64(best) / 16
+}
+
+// AttackerP drives GRINCH-P over a PRESENT channel.
+type AttackerP struct {
+	ch        ChannelP
+	cfg       Config
+	rng       *rng.Source
+	lineWords int
+}
+
+// NewAttackerP builds a PRESENT attacker.
+func NewAttackerP(ch ChannelP, cfg Config) (*AttackerP, error) {
+	lines := ch.Lines()
+	if lines < 2 || 16%lines != 0 {
+		return nil, fmt.Errorf("core: channel exposes %d table lines; the attack needs 2..16 dividing 16", lines)
+	}
+	cfg = cfg.withDefaults()
+	return &AttackerP{
+		ch:        ch,
+		cfg:       cfg,
+		rng:       rng.New(cfg.Seed),
+		lineWords: 16 / lines,
+	}, nil
+}
+
+// Encryptions returns the channel's total encryption count.
+func (a *AttackerP) Encryptions() uint64 { return a.ch.Encryptions() }
+
+func (a *AttackerP) overBudget() bool {
+	return a.cfg.TotalBudget > 0 && a.ch.Encryptions() >= a.cfg.TotalBudget
+}
+
+// TargetOutcomeP is the result of one PRESENT segment attack.
+type TargetOutcomeP struct {
+	Spec         TargetSpecP
+	Line         int
+	Nibbles      []uint8
+	Observations uint64
+	Converged    bool
+	Exhausted    bool
+}
+
+// AttackTargetP runs crafted elimination for one segment.
+func (a *AttackerP) AttackTargetP(spec TargetSpecP, rks []uint64) TargetOutcomeP {
+	elim := NewEliminator(a.ch.Lines(), a.cfg.Threshold)
+	out := TargetOutcomeP{Spec: spec, Line: -1}
+
+	for elim.Observations() < a.cfg.MaxObservationsPerTarget && !a.overBudget() {
+		pt := spec.CraftPlaintext(a.rng, rks)
+		elim.Observe(a.ch.Collect(pt, spec.Round))
+
+		if elim.Exhausted() && (a.cfg.Threshold == 1 || elim.Observations() >= a.cfg.MinObservations) {
+			out.Exhausted = true
+			break
+		}
+		if line, ok := elim.Converged(a.cfg.MinObservations); ok {
+			out.Line = line
+			out.Converged = true
+			break
+		}
+	}
+	if out.Converged {
+		out.Nibbles = spec.NibblesForLine(out.Line, a.lineWords)
+	}
+	out.Observations = elim.Observations()
+	return out
+}
+
+// RoundOutcomeP is the result of attacking one PRESENT round key.
+type RoundOutcomeP struct {
+	Round       int
+	Cands       [16][]uint8 // candidate key nibbles per segment
+	Encryptions uint64
+}
+
+// Unique reports whether every segment resolved to one nibble and
+// returns the 64-bit round key.
+func (r RoundOutcomeP) Unique() (uint64, bool) {
+	var rk uint64
+	for g, c := range r.Cands {
+		if len(c) != 1 {
+			return 0, false
+		}
+		rk |= uint64(c[0]) << (4 * g)
+	}
+	return rk, true
+}
+
+// AttackRoundP attacks round key t across all 16 segments. Crafting
+// for rounds ≥ 2 requires the earlier round keys to be fully resolved:
+// PRESENT's deterministic S-box derivative makes per-target hypothesis
+// enumeration unsound (see RecoverKey80), so — unlike the GIFT paths —
+// no prevCands mode exists.
+func (a *AttackerP) AttackRoundP(t int, resolved []uint64, prevCands *[16][]uint8) (RoundOutcomeP, error) {
+	if prevCands != nil {
+		return RoundOutcomeP{}, fmt.Errorf("core: PRESENT hypothesis passes are unsupported (deterministic S-box derivative; see RecoverKey80)")
+	}
+	if t >= 2 && len(resolved) < t-1 {
+		return RoundOutcomeP{}, fmt.Errorf("core: attacking round %d needs %d resolved round keys, have %d", t, t-1, len(resolved))
+	}
+
+	out := RoundOutcomeP{Round: t}
+	start := a.ch.Encryptions()
+
+	for g := 0; g < present.Segments; g++ {
+		spec := NewTargetP(t, g)
+		o := a.AttackTargetP(spec, resolved[:max(t-1, 0)])
+		if !o.Converged {
+			if a.overBudget() {
+				return out, ErrBudgetExceeded
+			}
+			return out, fmt.Errorf("core: PRESENT round %d segment %d: %d observations, %w",
+				t, g, o.Observations, ErrNoConvergence)
+		}
+		out.Cands[g] = o.Nibbles
+	}
+
+	out.Encryptions = a.ch.Encryptions() - start
+	return out, nil
+}
+
+// KeyResultP is a completed PRESENT-80 key recovery.
+type KeyResultP struct {
+	Key            [10]byte
+	RoundKeys      [2]uint64
+	Encryptions    uint64
+	RoundsAttacked int
+}
+
+// RecoverKey80 runs GRINCH-P to completion: rounds 1 and 2 expose 64
+// round-key bits each, and present.RecoverKey80 inverts the key
+// schedule.
+//
+// Wide cache lines are rejected: PRESENT's permutation routes output
+// bit (p mod 4) of every S-box p into position (p mod 4) of its
+// children, and the PRESENT S-box has a deterministic derivative on
+// that axis — S(x)⊕S(x⊕1) always has bit 0 set — so a wrong hidden-bit
+// hypothesis at a bit-0-fed target flips the pinned value *constantly*
+// instead of randomizing it, and next-round elimination converges to a
+// self-consistent wrong answer. Disambiguation would need round-(t+2)
+// cone analysis; rather than risk a silently wrong key, the attack
+// declines (an interesting structural contrast with GIFT, whose
+// position-preserving permutation avoids the trap — see
+// TestPresentWideLineDeterministicDerivative).
+func (a *AttackerP) RecoverKey80() (KeyResultP, error) {
+	var res KeyResultP
+	if a.lineWords > 1 {
+		return res, fmt.Errorf("core: GRINCH-P full recovery needs 1-word cache lines (got %d-word): PRESENT's deterministic S-box derivative defeats next-round disambiguation", a.lineWords)
+	}
+	start := a.ch.Encryptions()
+
+	var resolved []uint64
+	passes := 0
+	for t := 1; len(resolved) < 2; t++ {
+		passes++
+		out, err := a.AttackRoundP(t, resolved, nil)
+		if err != nil {
+			return res, err
+		}
+		rk, ok := out.Unique()
+		if !ok {
+			return res, fmt.Errorf("core: PRESENT round %d left ambiguity at 1-word lines", t)
+		}
+		resolved = append(resolved, rk)
+	}
+
+	copy(res.RoundKeys[:], resolved[:2])
+	res.Key = present.RecoverKey80(res.RoundKeys[0], res.RoundKeys[1])
+	res.Encryptions = a.ch.Encryptions() - start
+	res.RoundsAttacked = passes
+	return res, nil
+}

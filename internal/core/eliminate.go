@@ -1,0 +1,125 @@
+package core
+
+import "grinch/internal/probe"
+
+// Eliminator implements paper Step 3 (Eliminate Candidates): the pinned
+// target index is present in every observation, so candidate lines are
+// those that appear in (almost) all observations and the survivors
+// shrink toward the target as noise lines drop out.
+//
+// With Threshold == 1 this is the paper's strict set intersection. A
+// threshold below 1 tolerates false absences (the target line evicted
+// between access and probe): a line stays candidate while its appearance
+// ratio is at least the threshold.
+type Eliminator struct {
+	lines     int
+	threshold float64
+	counts    []uint64
+	probed    []uint64 // how many observations actually examined each line
+	n         uint64
+}
+
+// NewEliminator creates an eliminator over the given number of table
+// lines. threshold must be in (0, 1]; 1 means strict intersection.
+func NewEliminator(lines int, threshold float64) *Eliminator {
+	if lines < 1 || lines > 64 {
+		panic("core: eliminator needs 1..64 lines")
+	}
+	if threshold <= 0 || threshold > 1 {
+		panic("core: threshold must be in (0,1]")
+	}
+	return &Eliminator{
+		lines:     lines,
+		threshold: threshold,
+		counts:    make([]uint64, lines),
+		probed:    make([]uint64, lines),
+	}
+}
+
+// Observe folds one fully-probed line set into the statistics.
+func (e *Eliminator) Observe(set probe.LineSet) {
+	e.ObserveMasked(set, probe.FullSet(e.lines))
+}
+
+// ObserveMasked folds a partially-probed observation in: only the lines
+// in mask were examined this encryption (an Evict+Time attacker tests a
+// single line per run; Flush+Reload examines them all). Lines outside
+// the mask are neither credited nor debited.
+func (e *Eliminator) ObserveMasked(set, mask probe.LineSet) {
+	e.n++
+	for _, l := range mask.Lines() {
+		if l >= e.lines {
+			continue
+		}
+		e.probed[l]++
+		if set.Contains(l) {
+			e.counts[l]++
+		}
+	}
+}
+
+// Observations returns how many observations have been folded in.
+func (e *Eliminator) Observations() uint64 { return e.n }
+
+// qualifies reports whether line l still meets the threshold.
+func (e *Eliminator) qualifies(l int) bool {
+	if e.probed[l] == 0 {
+		return true // never examined: cannot be ruled out
+	}
+	if e.threshold == 1 {
+		return e.counts[l] == e.probed[l]
+	}
+	req := uint64(e.threshold * float64(e.probed[l]))
+	if req < 1 {
+		req = 1
+	}
+	return e.counts[l] >= req
+}
+
+// Candidates returns the lines that still qualify.
+func (e *Eliminator) Candidates() probe.LineSet {
+	if e.n == 0 {
+		return probe.FullSet(e.lines)
+	}
+	var set probe.LineSet
+	for l := 0; l < e.lines; l++ {
+		if e.qualifies(l) {
+			set = set.Add(l)
+		}
+	}
+	return set
+}
+
+// Converged reports the surviving line once exactly one candidate
+// remains, every line has been examined, and the survivor has at least
+// minObs examinations behind it.
+func (e *Eliminator) Converged(minObs uint64) (line int, ok bool) {
+	if e.n < minObs {
+		return -1, false
+	}
+	c := e.Candidates()
+	if c.Count() != 1 {
+		return -1, false
+	}
+	sole := c.Sole()
+	if e.probed[sole] < minObs {
+		return -1, false
+	}
+	return sole, true
+}
+
+// Exhausted reports that no candidate survives — the signature of a
+// wrong crafting hypothesis (the "pinned" index was not actually pinned)
+// or of destructive noise.
+func (e *Eliminator) Exhausted() bool {
+	return e.n > 0 && e.Candidates().Count() == 0
+}
+
+// PresenceRatio returns line l's appearance ratio over the observations
+// that examined it (0 when never examined).
+func (e *Eliminator) PresenceRatio(l int) float64 {
+	if l >= e.lines || e.probed[l] == 0 {
+		return 0
+	}
+	return float64(e.counts[l]) / float64(e.probed[l])
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"grinch/internal/probe"
+)
+
+func TestEliminatorStrictIntersection(t *testing.T) {
+	e := NewEliminator(16, 1)
+	e.Observe(probe.LineSet(0b0000_1111))
+	e.Observe(probe.LineSet(0b0011_0101))
+	if got := e.Candidates(); got != probe.LineSet(0b0000_0101) {
+		t.Fatalf("candidates = %v", got)
+	}
+	e.Observe(probe.LineSet(0b0000_0100))
+	line, ok := e.Converged(1)
+	if !ok || line != 2 {
+		t.Fatalf("Converged = (%d,%v), want (2,true)", line, ok)
+	}
+}
+
+func TestEliminatorBeforeObservations(t *testing.T) {
+	e := NewEliminator(8, 1)
+	if got := e.Candidates(); got != probe.FullSet(8) {
+		t.Fatalf("initial candidates = %v", got)
+	}
+	if _, ok := e.Converged(0); ok {
+		t.Fatal("converged with no observations")
+	}
+	if e.Exhausted() {
+		t.Fatal("exhausted with no observations")
+	}
+}
+
+func TestEliminatorExhaustion(t *testing.T) {
+	e := NewEliminator(4, 1)
+	e.Observe(probe.LineSet(0b0011))
+	e.Observe(probe.LineSet(0b1100))
+	if !e.Exhausted() {
+		t.Fatal("disjoint observations should exhaust")
+	}
+	if _, ok := e.Converged(1); ok {
+		t.Fatal("exhausted eliminator converged")
+	}
+}
+
+func TestEliminatorMinObservationsGate(t *testing.T) {
+	e := NewEliminator(4, 1)
+	e.Observe(probe.LineSet(0b0001))
+	if _, ok := e.Converged(2); ok {
+		t.Fatal("converged before MinObservations")
+	}
+	e.Observe(probe.LineSet(0b0001))
+	if line, ok := e.Converged(2); !ok || line != 0 {
+		t.Fatalf("Converged = (%d,%v)", line, ok)
+	}
+}
+
+func TestEliminatorThresholdToleratesAbsence(t *testing.T) {
+	e := NewEliminator(4, 0.7)
+	// Line 1 present in 4/5 observations (ratio 0.8 ≥ 0.7); line 2
+	// present in 2/5 (0.4 < 0.7).
+	sets := []probe.LineSet{0b0010, 0b0110, 0b0010, 0b0100, 0b0010}
+	for _, s := range sets {
+		e.Observe(s)
+	}
+	if got := e.Candidates(); got != probe.LineSet(0b0010) {
+		t.Fatalf("candidates = %v", got)
+	}
+}
+
+func TestEliminatorIgnoresOutOfRangeLines(t *testing.T) {
+	e := NewEliminator(2, 1)
+	e.Observe(probe.LineSet(0b1111)) // lines 2,3 beyond range
+	e.Observe(probe.LineSet(0b0001))
+	if line, ok := e.Converged(1); !ok || line != 0 {
+		t.Fatalf("Converged = (%d,%v)", line, ok)
+	}
+}
+
+func TestEliminatorPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewEliminator(0, 1) },
+		func() { NewEliminator(65, 1) },
+		func() { NewEliminator(4, 0) },
+		func() { NewEliminator(4, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWorstPinShare(t *testing.T) {
+	// The GIFT S-box is balanced; a wrong hypothesis can leave at most
+	// 6/8 of the crafted inputs pinned (and at least something below 1,
+	// or hypothesis testing would be impossible).
+	if worstPinShare >= 1 || worstPinShare < 0.5 {
+		t.Fatalf("worstPinShare = %v, expected in [0.5, 1)", worstPinShare)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/gift"
+	"grinch/internal/oracle"
+)
+
+// TestEvictTimeBaseline runs the attack through the time-driven
+// Evict+Time channel (one line of information per encryption) and
+// checks both correctness and the expected ~16x effort blow-up relative
+// to Flush+Reload — the quantified version of the paper's §III-C
+// argument for preferring Flush+Reload.
+func TestEvictTimeBaseline(t *testing.T) {
+	key := bitutil.Word128{Lo: 0x13579bdf02468ace, Hi: 0xfdb97531eca86420}
+
+	run := func(mode oracle.ProbeMode) uint64 {
+		ch, err := oracle.New(key, oracle.Config{
+			ProbeRound: 1, Flush: true, LineWords: 1, Probe: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAttacker(ch, Config{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := a.AttackRound(1, nil, nil)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		rk, ok := out.Unique()
+		if !ok {
+			t.Fatalf("mode %v: ambiguity at 1-word lines", mode)
+		}
+		want := gift.ExpandKey64(key)[0]
+		if rk.U != want.U || rk.V != want.V {
+			t.Fatalf("mode %v: wrong round key", mode)
+		}
+		return out.Encryptions
+	}
+
+	fr := run(oracle.ProbeFlushReload)
+	et := run(oracle.ProbeEvictTime)
+	t.Logf("first-round effort: Flush+Reload %d, Evict+Time %d (%.1fx)", fr, et, float64(et)/float64(fr))
+	if et < 8*fr {
+		t.Fatalf("Evict+Time (%d) should cost roughly 16x Flush+Reload (%d)", et, fr)
+	}
+}

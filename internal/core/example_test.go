@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/core"
+	"grinch/internal/oracle"
+)
+
+// Run the GRINCH attack end to end against an ideal observation channel
+// and recover the victim's full 128-bit key.
+func ExampleAttacker_RecoverKey() {
+	key := bitutil.Word128{Lo: 0x0123456789abcdef, Hi: 0xfedcba9876543210}
+
+	channel, err := oracle.New(key, oracle.Config{
+		ProbeRound: 1,    // probe right after the first key-dependent accesses
+		Flush:      true, // the paper's "GRINCH with Flush"
+		LineWords:  1,    // one table entry per cache line
+	})
+	if err != nil {
+		panic(err)
+	}
+	attacker, err := core.NewAttacker(channel, core.Config{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+
+	res, err := attacker.RecoverKey()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recovered:", res.Key == key)
+	fmt.Println("round passes:", res.RoundsAttacked)
+	// Output:
+	// recovered: true
+	// round passes: 4
+}
+
+// Inspect the crafted-plaintext machinery for one target: paper
+// Algorithm 1 locates the S-box outputs to pin, and KeyBits inverts an
+// observed index into the two round-key bits.
+func ExampleNewTarget64() {
+	spec := core.NewTarget64(1, 3) // round key 1, segment 3
+	for p := uint8(0); p < 4; p++ {
+		idx := spec.ExpectedIndex(p&1, p>>1)
+		v, u := spec.KeyBits(idx)
+		fmt.Printf("key bits (v=%d,u=%d) → index %#x\n", v, u, idx)
+	}
+	// Output:
+	// key bits (v=0,u=0) → index 0xf
+	// key bits (v=1,u=0) → index 0xe
+	// key bits (v=0,u=1) → index 0xd
+	// key bits (v=1,u=1) → index 0xc
+}

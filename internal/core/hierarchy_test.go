@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/cache"
+	"grinch/internal/oracle"
+)
+
+// The paper's future work: "further explore the effect of the memory
+// hierarchy on the effectiveness of the attack". These tests run GRINCH
+// through a two-level hierarchy where the attacker can only reach the
+// shared L2, and show that the L2's inclusion policy decides the
+// attack's fate.
+
+func hierChannel(t *testing.T, key bitutil.Word128, inclusive bool) *oracle.HierOracle {
+	t.Helper()
+	h, err := cache.NewHierarchy(
+		// Private victim L1: small but large enough to hold the whole
+		// 16-byte table.
+		cache.Config{Sets: 16, Ways: 2, LineBytes: 1, HitLatency: 1, MissLatency: 0, FlushLatency: 1},
+		cache.PaperConfig(1),
+		inclusive,
+		100,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := oracle.NewHierarchyChannel(key, oracle.Config{
+		ProbeRound: 1, Flush: true, LineWords: 1,
+	}, h, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestHierarchyAttackInclusive(t *testing.T) {
+	// Inclusive L2: the attacker's flush back-invalidates the victim's
+	// private L1, so every encryption re-exposes its accesses and the
+	// full key falls as usual — just through two cache levels.
+	key := bitutil.Word128{Lo: 0x0123456789abcdef, Hi: 0xfedcba9876543210}
+	ch := hierChannel(t, key, true)
+	a, err := NewAttacker(ch, Config{Seed: 31, TotalBudget: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.RecoverKey()
+	if err != nil {
+		t.Fatalf("attack through inclusive hierarchy failed: %v", err)
+	}
+	if res.Key != key {
+		t.Fatal("wrong key")
+	}
+	t.Logf("inclusive hierarchy: full key in %d encryptions", res.Encryptions)
+}
+
+func TestHierarchyDefeatsAttackWhenNonInclusive(t *testing.T) {
+	// Non-inclusive L2: the victim's L1 keeps the whole 16-byte table
+	// warm after the first encryption, its lookups stop reaching the
+	// shared level, and the attacker starves. The attack must fail
+	// cleanly — a private L1 behind a non-inclusive shared cache is
+	// itself a countermeasure.
+	key := bitutil.Word128{Lo: 0x1111222233334444, Hi: 0x5555666677778888}
+	ch := hierChannel(t, key, false)
+	a, err := NewAttacker(ch, Config{Seed: 32, TotalBudget: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.RecoverKey()
+	if err == nil && res.Key != key {
+		t.Fatal("non-inclusive hierarchy produced a silently wrong key")
+	}
+	if err == nil {
+		t.Fatalf("attack unexpectedly succeeded through a non-inclusive hierarchy (%d encryptions)", res.Encryptions)
+	}
+}
+
+func TestHierarchyChannelValidation(t *testing.T) {
+	h, err := cache.NewHierarchy(cache.PaperConfig(1), cache.PaperConfig(2), true, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L2 line size 2 vs LineWords 1 must be rejected.
+	if _, err := oracle.NewHierarchyChannel(bitutil.Word128{}, oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1}, h, 0); err == nil {
+		t.Fatal("line-size mismatch accepted")
+	}
+}

@@ -1,0 +1,206 @@
+// Package core implements the GRINCH attack (paper §III): an
+// access-driven cache attack that recovers the full 128-bit GIFT key by
+// crafting plaintexts that pin one S-box index per round and segment,
+// eliminating candidate indices from observed cache line sets, and
+// reverse-engineering the key bits from the surviving index.
+//
+// The attack follows the paper's five-step methodology:
+//
+//  1. Generate plaintext + encrypt (Algorithms 1 and 2) — target.go
+//  2. Probe the cache — delegated to a probe.Channel
+//  3. Eliminate candidates — eliminate.go
+//  4. Reverse-engineer key bits — TargetSpec.KeyBits
+//  5. Update plaintext generation for the next round — attack.go
+//
+// Wide cache lines hide the low index bits (paper §III-D); the attack
+// then carries up to four candidate key-bit pairs per segment into the
+// next round, where wrong hypotheses destroy the pinning and are pruned
+// (attack.go).
+package core
+
+import (
+	"fmt"
+
+	"grinch/internal/gift"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+// Source describes one of the four S-box outputs of round t that feed
+// the attacked segment of round t+1 (the output of paper Algorithm 1 for
+// one bit).
+type Source struct {
+	// Segment is the segment of the round-t S-box input state that
+	// produces this bit.
+	Segment int
+	// Bit is the output bit (0..3) of that segment's S-box that the
+	// permutation routes into the target; GIFT's permutation preserves
+	// the bit position within a segment, so Bit equals the target bit
+	// position this source feeds.
+	Bit int
+	// Inputs lists the S-box inputs x for which SBox[x] has Bit set —
+	// the paper's list_A/list_B of valid crafted values (8 entries).
+	Inputs []uint8
+}
+
+// TargetSpec pins one S-box access: the four input bits of segment
+// Segment at the input of round Round+1's SubCells are forced to 1
+// before the round-Round AddRoundKey, so the observed index differs from
+// 0b1111 exactly by the two round-key bits and the known round constant.
+type TargetSpec struct {
+	// Round is the attacked round key (1-based): the crafted constraint
+	// acts on the S-box accesses of round Round+1.
+	Round int
+	// Segment is the attacked segment g (0..15): key bits V_g and U_g
+	// of round key Round are recovered.
+	Segment int
+	// Sources are the four round-Round S-box cells feeding the target,
+	// indexed by target bit position (Sources[j] feeds index bit j).
+	Sources [4]Source
+	// ConstXor is the round-constant contribution to the observed
+	// index (bit 3 only; bits 0..2 never carry constants in GIFT-64).
+	ConstXor uint8
+}
+
+// sboxBitList returns the S-box inputs whose output has bit j set
+// (paper Algorithm 1 lines 6-13, expressed directly instead of through
+// Inv_SBOX).
+func sboxBitList(j int) []uint8 {
+	var list []uint8
+	for x := uint8(0); x < 16; x++ {
+		if gift.SBox[x]>>j&1 == 1 {
+			list = append(list, x)
+		}
+	}
+	return list
+}
+
+// NewTarget64 builds the target specification for round key t (1-based)
+// and segment g of GIFT-64. This is paper Algorithm 1
+// (SET_TARGET_BITS): the state positions that AddRoundKey XORs with the
+// target key bits are inverse-permuted to locate the S-box output bits
+// that must be pinned.
+func NewTarget64(t, g int) TargetSpec {
+	if t < 1 || t > gift.Rounds64 {
+		panic(fmt.Sprintf("core: round %d out of range", t))
+	}
+	if g < 0 || g >= gift.Segments64 {
+		panic(fmt.Sprintf("core: segment %d out of range", g))
+	}
+	spec := TargetSpec{Round: t, Segment: g}
+	for j := 0; j < 4; j++ {
+		// State bit 4g+j of the round-(t+1) S-box input comes from
+		// S-box output bit InvPerm64[4g+j] of round t.
+		p := int(gift.InvPerm64[4*g+j])
+		spec.Sources[j] = Source{
+			Segment: p / 4,
+			Bit:     p % 4,
+			Inputs:  sboxBitList(p % 4),
+		}
+	}
+	// Round-constant contribution to the observed index: GIFT-64 XORs a
+	// fixed 1 into state bit 63 (segment 15, bit 3) and constant bits
+	// c_i into bits 4i+3 for i = 0..5 (segments 0..5, bit 3).
+	c := gift.RoundConstants[t-1]
+	switch {
+	case g == 15:
+		spec.ConstXor = 1 << 3
+	case g < 6:
+		spec.ConstXor = (c >> g & 1) << 3
+	}
+	return spec
+}
+
+// pinnedValue is the value the four pinned bits take before AddRoundKey
+// (the paper sets both target bits to 1; we pin all four source bits so
+// exactly one index is activated).
+const pinnedValue = 0xf
+
+// ExpectedIndex returns the S-box index that will be observed in round
+// Round+1, segment Segment, when round key Round has V bit v and U bit u
+// at this segment.
+func (t TargetSpec) ExpectedIndex(v, u uint8) uint8 {
+	return pinnedValue ^ t.ConstXor ^ (v&1 | u&1<<1)
+}
+
+// KeyBits reverse-engineers the two key bits from the observed index
+// (paper Step 4: Key[i] ← ¬Index[a], adjusted for the round constant).
+// v is the bit XORed at state position 4g (key bit g of the round key's
+// V word) and u the bit at 4g+1 (bit g of U).
+func (t TargetSpec) KeyBits(index uint8) (v, u uint8) {
+	d := index ^ pinnedValue ^ t.ConstXor
+	return d & 1, d >> 1 & 1
+}
+
+// FeasibleLines returns the table lines the pinned target can land on:
+// the four possible key-bit pairs map to at most four indices, which a
+// wide line collapses further. A converged line outside this set cannot
+// be the target — it is a noise line that survived by chance.
+func (t TargetSpec) FeasibleLines(lineWords int) probe.LineSet {
+	var set probe.LineSet
+	for p := uint8(0); p < 4; p++ {
+		set = set.Add(int(t.ExpectedIndex(p&1, p>>1)) / lineWords)
+	}
+	return set
+}
+
+// PairsForLine returns the candidate (v | u<<1) key-bit pairs consistent
+// with the observed table line when lineWords table entries share one
+// cache line: wide lines hide the low index bits, leaving up to four
+// candidates (paper §III-D).
+func (t TargetSpec) PairsForLine(line, lineWords int) []uint8 {
+	var pairs []uint8
+	for p := uint8(0); p < 4; p++ {
+		if int(t.ExpectedIndex(p&1, p>>1))/lineWords == line {
+			pairs = append(pairs, p)
+		}
+	}
+	return pairs
+}
+
+// CraftState builds the round-Round S-box input state (paper Algorithm
+// 2, GENERATE): each source segment gets a value drawn from its valid
+// list so the pinned output bit is 1; every other segment is random.
+func (t TargetSpec) CraftState(r *rng.Source) uint64 {
+	var state uint64
+	var pinned uint16
+	for _, src := range t.Sources {
+		x := src.Inputs[r.Intn(len(src.Inputs))]
+		state |= uint64(x) << (4 * src.Segment)
+		pinned |= 1 << src.Segment
+	}
+	for seg := 0; seg < gift.Segments64; seg++ {
+		if pinned&(1<<seg) == 0 {
+			state |= r.Nibble() << (4 * seg)
+		}
+	}
+	return state
+}
+
+// CraftPlaintext turns a crafted round-Round state into the plaintext
+// that produces it, by inverting rounds Round-1..1 with the (known or
+// hypothesized) earlier round keys. For Round == 1 the state is the
+// plaintext (paper Step 5 reduces to Step 1).
+func (t TargetSpec) CraftPlaintext(r *rng.Source, rks []gift.RoundKey64) uint64 {
+	state := t.CraftState(r)
+	if t.Round == 1 {
+		return state
+	}
+	if len(rks) < t.Round-1 {
+		panic(fmt.Sprintf("core: crafting round %d needs %d round keys, have %d",
+			t.Round, t.Round-1, len(rks)))
+	}
+	return gift.PartialDecrypt64(state, rks, t.Round-1)
+}
+
+// ParentSegments returns the four round-(Round-1)-key segments whose key
+// bits determine whether the crafted state is realized, indexed by the
+// target bit position they influence. (For Round == 1 the sources are
+// plaintext segments and no key is involved.)
+func (t TargetSpec) ParentSegments() [4]int {
+	var out [4]int
+	for j, src := range t.Sources {
+		out[j] = src.Segment
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package core
+
+// GIFT-128 extension of the GRINCH attack. The paper demonstrates the
+// attack on GIFT-64; GIFT-128 (the variant used by most GIFT-based NIST
+// candidates) has the same structure with a different AddRoundKey
+// geometry — key bits land on segment bits 1 (V) and 2 (U) instead of 0
+// and 1, bit 0 is key-free, and each round consumes 64 key bits, so two
+// attacked rounds cover the whole 128-bit key.
+//
+// A notable consequence of the shifted key positions: a 2-word cache
+// line hides only index bit 0, which carries no key material in
+// GIFT-128, so — unlike GIFT-64 — the attack loses nothing at 2-word
+// lines (TestPairsForLine128Widths documents this).
+
+import (
+	"fmt"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/gift"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+// TargetSpec128 pins one GIFT-128 S-box access, mirroring TargetSpec.
+type TargetSpec128 struct {
+	Round   int
+	Segment int
+	// Sources are the four round-Round S-box cells feeding the target,
+	// indexed by target bit position.
+	Sources [4]Source
+	// ConstXor is the round-constant contribution to the observed index
+	// (bit 3 only).
+	ConstXor uint8
+}
+
+// NewTarget128 builds the target specification for round key t and
+// segment g (0..31) of GIFT-128.
+func NewTarget128(t, g int) TargetSpec128 {
+	if t < 1 || t > gift.Rounds128 {
+		panic(fmt.Sprintf("core: round %d out of range", t))
+	}
+	if g < 0 || g >= gift.Segments128 {
+		panic(fmt.Sprintf("core: segment %d out of range", g))
+	}
+	spec := TargetSpec128{Round: t, Segment: g}
+	for j := 0; j < 4; j++ {
+		p := int(gift.InvPerm128[4*g+j])
+		spec.Sources[j] = Source{
+			Segment: p / 4,
+			Bit:     p % 4,
+			Inputs:  sboxBitList(p % 4),
+		}
+	}
+	// GIFT-128 XORs the fixed 1 into state bit 127 (segment 31, bit 3)
+	// and constant bits c_i into bits 4i+3 for i = 0..5.
+	c := gift.RoundConstants[t-1]
+	switch {
+	case g == 31:
+		spec.ConstXor = 1 << 3
+	case g < 6:
+		spec.ConstXor = (c >> g & 1) << 3
+	}
+	return spec
+}
+
+// ExpectedIndex returns the observed S-box index for round-key bits
+// (v, u) at this segment: GIFT-128 XORs v into index bit 1 and u into
+// bit 2.
+func (t TargetSpec128) ExpectedIndex(v, u uint8) uint8 {
+	return pinnedValue ^ t.ConstXor ^ (v&1<<1 | u&1<<2)
+}
+
+// KeyBits reverse-engineers the two key bits from an observed index.
+func (t TargetSpec128) KeyBits(index uint8) (v, u uint8) {
+	d := index ^ pinnedValue ^ t.ConstXor
+	return d >> 1 & 1, d >> 2 & 1
+}
+
+// FeasibleLines returns the lines the pinned target can land on.
+func (t TargetSpec128) FeasibleLines(lineWords int) probe.LineSet {
+	var set probe.LineSet
+	for p := uint8(0); p < 4; p++ {
+		set = set.Add(int(t.ExpectedIndex(p&1, p>>1)) / lineWords)
+	}
+	return set
+}
+
+// PairsForLine returns the candidate (v | u<<1) pairs consistent with an
+// observed line.
+func (t TargetSpec128) PairsForLine(line, lineWords int) []uint8 {
+	var pairs []uint8
+	for p := uint8(0); p < 4; p++ {
+		if int(t.ExpectedIndex(p&1, p>>1))/lineWords == line {
+			pairs = append(pairs, p)
+		}
+	}
+	return pairs
+}
+
+// CraftState builds the round-Round S-box input state with the four
+// source segments pinned and all others random.
+func (t TargetSpec128) CraftState(r *rng.Source) bitutil.Word128 {
+	var state bitutil.Word128
+	var pinned uint32
+	for _, src := range t.Sources {
+		x := src.Inputs[r.Intn(len(src.Inputs))]
+		state = state.SetNibble(uint(src.Segment), uint64(x))
+		pinned |= 1 << src.Segment
+	}
+	for seg := uint(0); seg < gift.Segments128; seg++ {
+		if pinned&(1<<seg) == 0 {
+			state = state.SetNibble(seg, r.Nibble())
+		}
+	}
+	return state
+}
+
+// CraftPlaintext inverts rounds Round-1..1 to turn the crafted state
+// into a plaintext.
+func (t TargetSpec128) CraftPlaintext(r *rng.Source, rks []gift.RoundKey128) bitutil.Word128 {
+	state := t.CraftState(r)
+	if t.Round == 1 {
+		return state
+	}
+	if len(rks) < t.Round-1 {
+		panic(fmt.Sprintf("core: crafting round %d needs %d round keys, have %d",
+			t.Round, t.Round-1, len(rks)))
+	}
+	return gift.PartialDecrypt128(state, rks, t.Round-1)
+}
+
+// ParentSegments returns the round-(Round-1) segments whose key bits
+// gate the crafted pinning, indexed by target bit position.
+func (t TargetSpec128) ParentSegments() [4]int {
+	var out [4]int
+	for j, src := range t.Sources {
+		out[j] = src.Segment
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small options keep the test suite quick; the full-scale runs live in
+// cmd/experiments and the root benchmark harness.
+func quickOpts() Options {
+	return Options{Trials: 1, Budget: 200_000, Seed: 7}
+}
+
+func TestFig3ShapeAndMonotonicity(t *testing.T) {
+	rows := Fig3(quickOpts(), []int{1, 2, 3})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.WithFlush.DroppedOut || r.WithoutFlush.DroppedOut {
+			t.Fatalf("early probe rounds dropped out: %+v", r)
+		}
+		if r.WithFlush.Median >= r.WithoutFlush.Median {
+			t.Errorf("probe round %d: flush (%v) not cheaper than no-flush (%v)",
+				r.ProbeRound, r.WithFlush.Median, r.WithoutFlush.Median)
+		}
+		if i > 0 && r.WithFlush.Median <= rows[i-1].WithFlush.Median {
+			t.Errorf("with-flush effort not increasing: round %d", r.ProbeRound)
+		}
+	}
+	// Paper anchor: ~96 encryptions at probe round 1 with flush.
+	if m := rows[0].WithFlush.Median; m < 40 || m > 400 {
+		t.Errorf("probe round 1 with flush: %v encryptions, paper reports ≈96", m)
+	}
+}
+
+func TestTable1ShapeAcrossLineSizes(t *testing.T) {
+	rows := Table1(quickOpts(), []int{1, 2}, []int{1, 2})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Wider lines must cost at least as much at the same probe round.
+	if !rows[0].Cells[0].DroppedOut && !rows[1].Cells[0].DroppedOut {
+		if rows[1].Cells[0].Median < rows[0].Cells[0].Median {
+			t.Errorf("2-word line cheaper than 1-word at probe round 1: %v vs %v",
+				rows[1].Cells[0].Median, rows[0].Cells[0].Median)
+		}
+	}
+	// Later probe rounds must cost at least as much per row.
+	for _, row := range rows {
+		if row.Cells[1].DroppedOut {
+			continue
+		}
+		if row.Cells[1].Median < row.Cells[0].Median {
+			t.Errorf("line %d: probe round 2 cheaper than round 1", row.LineWords)
+		}
+	}
+}
+
+func TestTable1DropOut(t *testing.T) {
+	// An 8-word line probed late must blow a small budget, like the
+	// paper's ">1M" cells.
+	opt := Options{Trials: 1, Budget: 3_000, Seed: 3}
+	rows := Table1(opt, []int{8}, []int{3})
+	if !rows[0].Cells[0].DroppedOut {
+		t.Fatalf("8-word line at probe round 3 finished under 3k encryptions: %+v", rows[0].Cells[0])
+	}
+	if got := rows[0].Cells[0].String(); !strings.HasPrefix(got, ">") {
+		t.Fatalf("drop-out cell renders as %q", got)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2(1, nil)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		paper := PaperTable2[row.Platform]
+		for f, want := range paper {
+			if got := row.EarliestRound[f]; got != want {
+				t.Errorf("%s at %d MHz: round %d, paper says %d", row.Platform, f, got, want)
+			}
+		}
+	}
+}
+
+func TestFullRecoveryHeadline(t *testing.T) {
+	res := FullRecovery(Options{Trials: 2, Budget: 10_000, Seed: 5})
+	if !res.AllCorrect {
+		t.Fatalf("key recovery failed: %+v", res)
+	}
+	// Paper headline: fewer than 400 encryptions; allow slack for the
+	// reproduction's different elimination constants.
+	if res.Encryptions.Median > 1000 {
+		t.Fatalf("median effort %v, expected a few hundred", res.Encryptions.Median)
+	}
+}
+
+func TestCountermeasures(t *testing.T) {
+	res := Countermeasures(Options{Trials: 1, Budget: 100_000, Seed: 9})
+	if !res.ReshapedRejected {
+		t.Error("reshaped-table countermeasure did not block the attack")
+	}
+	if !res.WhitenedKeyRecoveryFailed {
+		t.Error("whitened key schedule did not prevent key recovery")
+	}
+	if !res.WhitenedRoundKeysRecovered {
+		t.Error("whitened demo lost its leak: sub-keys should still be recoverable")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	fig3 := Fig3(quickOpts(), []int{1, 2})
+	if s := RenderFig3(fig3); !strings.Contains(s, "probe round") || !strings.Contains(s, "paper") {
+		t.Errorf("RenderFig3 output malformed:\n%s", s)
+	}
+	if s := Fig3CSV(fig3); !strings.HasPrefix(s, "probe_round,") || len(strings.Split(strings.TrimSpace(s), "\n")) != 3 {
+		t.Errorf("Fig3CSV malformed:\n%s", s)
+	}
+
+	t1 := Table1(quickOpts(), []int{1}, []int{1})
+	if s := RenderTable1(t1, []int{1}); !strings.Contains(s, "1 word(s)") {
+		t.Errorf("RenderTable1 malformed:\n%s", s)
+	}
+	if s := Table1CSV(t1, []int{1}); !strings.HasPrefix(s, "line_words,round_1") {
+		t.Errorf("Table1CSV malformed:\n%s", s)
+	}
+
+	t2 := Table2(1, nil)
+	if s := RenderTable2(t2); !strings.Contains(s, "Single-processing SoC") {
+		t.Errorf("RenderTable2 malformed:\n%s", s)
+	}
+
+	rec := FullRecovery(Options{Trials: 1, Budget: 5_000, Seed: 2})
+	if s := RenderRecovery(rec); !strings.Contains(s, "128-bit") {
+		t.Errorf("RenderRecovery malformed:\n%s", s)
+	}
+
+	cm := Countermeasures(Options{Trials: 1, Budget: 50_000, Seed: 4})
+	if s := RenderCountermeasures(cm); !strings.Contains(s, "Countermeasures") {
+		t.Errorf("RenderCountermeasures malformed:\n%s", s)
+	}
+}
+
+func TestCellStringFinite(t *testing.T) {
+	c := Cell{Median: 96, Trials: []uint64{96}}
+	if c.String() != "96" {
+		t.Fatalf("cell renders as %q", c.String())
+	}
+	c = Cell{Median: 123848, Trials: []uint64{123848}}
+	if c.String() != "124k" {
+		t.Fatalf("cell renders as %q", c.String())
+	}
+	c = Cell{Median: 1.5e6, Trials: []uint64{1500000}}
+	if c.String() != "1.5M" {
+		t.Fatalf("cell renders as %q", c.String())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Fig3(quickOpts(), []int{1})
+	b := Fig3(quickOpts(), []int{1})
+	if a[0].WithFlush.Median != b[0].WithFlush.Median {
+		t.Fatal("Fig3 not deterministic under fixed seed")
+	}
+}

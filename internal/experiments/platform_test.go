@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlatformEffort10MHz(t *testing.T) {
+	rows := PlatformEffort(Options{Trials: 1, Budget: 50_000, Seed: 11}, []uint64{10})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.DroppedOut {
+			t.Fatalf("%s at %d MHz dropped out", r.Platform, r.MHz)
+		}
+		if r.Encryptions == 0 {
+			t.Fatalf("%s: zero effort", r.Platform)
+		}
+	}
+	// The single SoC probes at round 2 (wide window, rounds 1..2); the
+	// MPSoC probes per round — the MPSoC must not be dramatically worse.
+	if rows[0].WindowRounds != 2 || rows[1].WindowRounds != 1 {
+		t.Fatalf("first-probe rounds: %d, %d", rows[0].WindowRounds, rows[1].WindowRounds)
+	}
+}
+
+func TestRenderPlatformEffort(t *testing.T) {
+	rows := []PlatformEffortRow{
+		{Platform: "Single-processing SoC", MHz: 10, Encryptions: 1234, WindowRounds: 2},
+		{Platform: "Multi-processing SoC", MHz: 10, Encryptions: 99999, DroppedOut: true, WindowRounds: 1},
+	}
+	s := RenderPlatformEffort(rows)
+	if !strings.Contains(s, "Single-processing SoC") || !strings.Contains(s, ">") {
+		t.Fatalf("render malformed:\n%s", s)
+	}
+}
+
+func TestFig3Chart(t *testing.T) {
+	rows := []Fig3Row{
+		{ProbeRound: 1, WithFlush: Cell{Median: 96, Trials: []uint64{96}}, WithoutFlush: Cell{Median: 400, Trials: []uint64{400}}},
+		{ProbeRound: 9, WithFlush: Cell{DroppedOut: true, Trials: []uint64{1000000}}, WithoutFlush: Cell{DroppedOut: true, Trials: []uint64{1000000}}},
+	}
+	s := Fig3Chart(rows)
+	if !strings.Contains(s, "█") || !strings.Contains(s, "░") || !strings.Contains(s, ">1.0M") {
+		t.Fatalf("chart malformed:\n%s", s)
+	}
+}

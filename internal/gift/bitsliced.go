@@ -1,0 +1,152 @@
+package gift
+
+import "grinch/internal/bitutil"
+
+// This file contains the bitsliced (lookup-free) GIFT implementation.
+// The S-box layer is computed with boolean operations on the four bit
+// planes of the state, so no data-dependent memory access ever occurs:
+// this is the constant-time software style the GRINCH paper's first
+// countermeasure discussion motivates, and it doubles as an independent
+// correctness cross-check for the table-based implementation.
+//
+// The plane decomposition: plane j collects bit 4i+j of every segment i,
+// so a GIFT-64 state yields four 16-bit planes and a GIFT-128 state four
+// 32-bit planes. The S-box circuit below is the one published with the
+// GIFT specification:
+//
+//	S1 ^= S0 & S2;  S0 ^= S1 & S3;  S2 ^= S0 | S1;
+//	S3 ^= S2;       S1 ^= S3;       S3 = ~S3;
+//	S2 ^= S0 & S1;  swap(S0, S3)
+//
+// (verified exhaustively against the lookup table in bitsliced_test.go).
+
+// planes64 splits a GIFT-64 state into its four 16-bit bit planes.
+func planes64(s uint64) (p0, p1, p2, p3 uint16) {
+	for i := uint(0); i < 16; i++ {
+		nib := s >> (4 * i)
+		p0 |= uint16(nib&1) << i
+		p1 |= uint16(nib>>1&1) << i
+		p2 |= uint16(nib>>2&1) << i
+		p3 |= uint16(nib>>3&1) << i
+	}
+	return
+}
+
+// unplanes64 reassembles a GIFT-64 state from its bit planes.
+func unplanes64(p0, p1, p2, p3 uint16) uint64 {
+	var s uint64
+	for i := uint(0); i < 16; i++ {
+		nib := uint64(p0>>i&1) | uint64(p1>>i&1)<<1 |
+			uint64(p2>>i&1)<<2 | uint64(p3>>i&1)<<3
+		s |= nib << (4 * i)
+	}
+	return s
+}
+
+// sboxPlanes applies the GIFT S-box circuit to generic-width planes.
+func sboxPlanes(s0, s1, s2, s3 uint32) (uint32, uint32, uint32, uint32) {
+	s1 ^= s0 & s2
+	s0 ^= s1 & s3
+	s2 ^= s0 | s1
+	s3 ^= s2
+	s1 ^= s3
+	s3 = ^s3
+	s2 ^= s0 & s1
+	return s3, s1, s2, s0 // swap(S0, S3)
+}
+
+// invSBoxPlanes inverts sboxPlanes (each step undone in reverse order).
+func invSBoxPlanes(s0, s1, s2, s3 uint32) (uint32, uint32, uint32, uint32) {
+	s0, s3 = s3, s0 // undo swap
+	s2 ^= s0 & s1
+	s3 = ^s3
+	s1 ^= s3
+	s3 ^= s2
+	s2 ^= s0 | s1
+	s0 ^= s1 & s3
+	s1 ^= s0 & s2
+	return s0, s1, s2, s3
+}
+
+// SubCells64Bitsliced applies the S-box layer to a GIFT-64 state without
+// any table lookup.
+func SubCells64Bitsliced(s uint64) uint64 {
+	p0, p1, p2, p3 := planes64(s)
+	q0, q1, q2, q3 := sboxPlanes(uint32(p0), uint32(p1), uint32(p2), uint32(p3))
+	return unplanes64(uint16(q0), uint16(q1), uint16(q2), uint16(q3))
+}
+
+// InvSubCells64Bitsliced applies the inverse S-box layer without lookups.
+func InvSubCells64Bitsliced(s uint64) uint64 {
+	p0, p1, p2, p3 := planes64(s)
+	q0, q1, q2, q3 := invSBoxPlanes(uint32(p0), uint32(p1), uint32(p2), uint32(p3))
+	return unplanes64(uint16(q0), uint16(q1), uint16(q2), uint16(q3))
+}
+
+// EncryptBlockBitsliced encrypts one GIFT-64 block using the lookup-free
+// S-box layer. Produces bit-identical output to Cipher64.EncryptBlock.
+func (c *Cipher64) EncryptBlockBitsliced(pt uint64) uint64 {
+	s := pt
+	for r := 0; r < Rounds64; r++ {
+		s = AddRoundKey64(PermBits64(SubCells64Bitsliced(s)), c.rk[r])
+	}
+	return s
+}
+
+// DecryptBlockBitsliced decrypts one GIFT-64 block without lookups.
+func (c *Cipher64) DecryptBlockBitsliced(ct uint64) uint64 {
+	s := ct
+	for r := Rounds64 - 1; r >= 0; r-- {
+		s = InvSubCells64Bitsliced(InvPermBits64(AddRoundKey64(s, c.rk[r])))
+	}
+	return s
+}
+
+// planes128 splits a GIFT-128 state into four 32-bit planes.
+func planes128(s bitutil.Word128) (p0, p1, p2, p3 uint32) {
+	l0, l1, l2, l3 := planes64(s.Lo)
+	h0, h1, h2, h3 := planes64(s.Hi)
+	return uint32(h0)<<16 | uint32(l0), uint32(h1)<<16 | uint32(l1),
+		uint32(h2)<<16 | uint32(l2), uint32(h3)<<16 | uint32(l3)
+}
+
+// unplanes128 reassembles a GIFT-128 state from its planes.
+func unplanes128(p0, p1, p2, p3 uint32) bitutil.Word128 {
+	return bitutil.Word128{
+		Lo: unplanes64(uint16(p0), uint16(p1), uint16(p2), uint16(p3)),
+		Hi: unplanes64(uint16(p0>>16), uint16(p1>>16), uint16(p2>>16), uint16(p3>>16)),
+	}
+}
+
+// SubCells128Bitsliced applies the S-box layer to a GIFT-128 state
+// without any table lookup.
+func SubCells128Bitsliced(s bitutil.Word128) bitutil.Word128 {
+	p0, p1, p2, p3 := planes128(s)
+	return unplanes128(sboxPlanes(p0, p1, p2, p3))
+}
+
+// InvSubCells128Bitsliced applies the inverse S-box layer without
+// lookups.
+func InvSubCells128Bitsliced(s bitutil.Word128) bitutil.Word128 {
+	p0, p1, p2, p3 := planes128(s)
+	return unplanes128(invSBoxPlanes(p0, p1, p2, p3))
+}
+
+// EncryptBlockBitsliced encrypts one GIFT-128 block using the lookup-free
+// S-box layer.
+func (c *Cipher128) EncryptBlockBitsliced(pt bitutil.Word128) bitutil.Word128 {
+	s := pt
+	for r := 0; r < Rounds128; r++ {
+		s = AddRoundKey128(PermBits128(SubCells128Bitsliced(s)), c.rk[r])
+	}
+	return s
+}
+
+// DecryptBlockBitsliced decrypts one GIFT-128 block without lookups.
+func (c *Cipher128) DecryptBlockBitsliced(ct bitutil.Word128) bitutil.Word128 {
+	s := ct
+	for r := Rounds128 - 1; r >= 0; r-- {
+		s = InvSubCells128Bitsliced(InvPermBits128(AddRoundKey128(s, c.rk[r])))
+	}
+	return s
+}

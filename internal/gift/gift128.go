@@ -1,0 +1,205 @@
+package gift
+
+import (
+	"encoding/binary"
+
+	"grinch/internal/bitutil"
+)
+
+// RoundKey128 is the key material for one GIFT-128 round: two 32-bit
+// words U and V plus the 6-bit round constant. Bit u_i is XORed into
+// state bit 4i+2 and bit v_i into state bit 4i+1.
+type RoundKey128 struct {
+	U, V  uint32
+	Const uint8
+}
+
+// Cipher128 is a GIFT-128 instance with an expanded key schedule
+// (16-byte blocks).
+type Cipher128 struct {
+	rk [Rounds128]RoundKey128
+}
+
+// NewCipher128 expands a 128-bit key (big-endian byte order) into a
+// GIFT-128 cipher.
+func NewCipher128(key [16]byte) *Cipher128 {
+	return NewCipher128FromWord(bitutil.Word128FromBytes(key))
+}
+
+// NewCipher128FromWord expands a key given as a 128-bit word.
+func NewCipher128FromWord(key bitutil.Word128) *Cipher128 {
+	c := &Cipher128{}
+	copy(c.rk[:], ExpandKey128(key))
+	return c
+}
+
+// BlockSize returns the GIFT-128 block size in bytes.
+func (c *Cipher128) BlockSize() int { return 16 }
+
+// Encrypt encrypts the 16-byte block src into dst (big-endian blocks).
+func (c *Cipher128) Encrypt(dst, src []byte) {
+	pt := word128FromBE(src)
+	putWord128BE(dst, c.EncryptBlock(pt))
+}
+
+// Decrypt decrypts the 16-byte block src into dst.
+func (c *Cipher128) Decrypt(dst, src []byte) {
+	ct := word128FromBE(src)
+	putWord128BE(dst, c.DecryptBlock(ct))
+}
+
+func word128FromBE(b []byte) bitutil.Word128 {
+	return bitutil.Word128{
+		Hi: binary.BigEndian.Uint64(b[:8]),
+		Lo: binary.BigEndian.Uint64(b[8:16]),
+	}
+}
+
+func putWord128BE(b []byte, w bitutil.Word128) {
+	binary.BigEndian.PutUint64(b[:8], w.Hi)
+	binary.BigEndian.PutUint64(b[8:16], w.Lo)
+}
+
+// EncryptBlock encrypts one 128-bit block.
+func (c *Cipher128) EncryptBlock(pt bitutil.Word128) bitutil.Word128 {
+	s := pt
+	for r := 0; r < Rounds128; r++ {
+		s = Round128(s, c.rk[r])
+	}
+	return s
+}
+
+// DecryptBlock decrypts one 128-bit block.
+func (c *Cipher128) DecryptBlock(ct bitutil.Word128) bitutil.Word128 {
+	s := ct
+	for r := Rounds128 - 1; r >= 0; r-- {
+		s = InvRound128(s, c.rk[r])
+	}
+	return s
+}
+
+// RoundKeys returns the expanded round keys.
+func (c *Cipher128) RoundKeys() []RoundKey128 {
+	out := make([]RoundKey128, Rounds128)
+	copy(out, c.rk[:])
+	return out
+}
+
+// ExpandKey128 runs the GIFT key schedule for GIFT-128: round r uses
+// U = k5‖k4, V = k1‖k0, with the same key-state rotation as GIFT-64.
+func ExpandKey128(key bitutil.Word128) []RoundKey128 {
+	rks := make([]RoundKey128, Rounds128)
+	ks := key
+	for r := 0; r < Rounds128; r++ {
+		rks[r] = RoundKey128{
+			U:     uint32(ks.Word16(5))<<16 | uint32(ks.Word16(4)),
+			V:     uint32(ks.Word16(1))<<16 | uint32(ks.Word16(0)),
+			Const: RoundConstants[r],
+		}
+		ks = UpdateKeyState(ks)
+	}
+	return rks
+}
+
+// SubCells128 applies the S-box to all 32 segments.
+func SubCells128(s bitutil.Word128) bitutil.Word128 {
+	return bitutil.Word128{Lo: SubCells64(s.Lo), Hi: SubCells64(s.Hi)}
+}
+
+// InvSubCells128 applies the inverse S-box to all 32 segments.
+func InvSubCells128(s bitutil.Word128) bitutil.Word128 {
+	return bitutil.Word128{Lo: InvSubCells64(s.Lo), Hi: InvSubCells64(s.Hi)}
+}
+
+// PermBits128 applies the GIFT-128 bit permutation.
+func PermBits128(s bitutil.Word128) bitutil.Word128 {
+	return bitutil.PermuteBits128(s, &Perm128)
+}
+
+// InvPermBits128 applies the inverse bit permutation.
+func InvPermBits128(s bitutil.Word128) bitutil.Word128 {
+	return bitutil.PermuteBits128(s, &InvPerm128)
+}
+
+// AddRoundKey128 XORs the round key into the state: u_i into bit 4i+2,
+// v_i into bit 4i+1, the fixed 1 into bit 127 and the constant bits
+// c5..c0 into bits 23, 19, 15, 11, 7, 3.
+func AddRoundKey128(s bitutil.Word128, rk RoundKey128) bitutil.Word128 {
+	var lo, hi uint64
+	for i := uint(0); i < 16; i++ {
+		lo |= (uint64(rk.U>>i) & 1) << (4*i + 2)
+		lo |= (uint64(rk.V>>i) & 1) << (4*i + 1)
+		hi |= (uint64(rk.U>>(16+i)) & 1) << (4*i + 2)
+		hi |= (uint64(rk.V>>(16+i)) & 1) << (4*i + 1)
+	}
+	hi |= 1 << 63
+	for i := uint(0); i < 6; i++ {
+		lo |= (uint64(rk.Const>>i) & 1) << (4*i + 3)
+	}
+	return bitutil.Word128{Lo: s.Lo ^ lo, Hi: s.Hi ^ hi}
+}
+
+// Round128 applies one full GIFT-128 round.
+func Round128(s bitutil.Word128, rk RoundKey128) bitutil.Word128 {
+	return AddRoundKey128(PermBits128(SubCells128(s)), rk)
+}
+
+// InvRound128 inverts one GIFT-128 round.
+func InvRound128(s bitutil.Word128, rk RoundKey128) bitutil.Word128 {
+	return InvSubCells128(InvPermBits128(AddRoundKey128(s, rk)))
+}
+
+// EncryptTraced encrypts like EncryptBlock but reports every S-box lookup
+// to obs in execution order.
+func (c *Cipher128) EncryptTraced(pt bitutil.Word128, obs SBoxObserver) bitutil.Word128 {
+	s := pt
+	for r := 0; r < Rounds128; r++ {
+		var sub bitutil.Word128
+		for i := uint(0); i < Segments128; i++ {
+			idx := uint8(s.Nibble(i))
+			obs.ObserveSBox(r+1, int(i), idx)
+			sub = sub.SetNibble(i, uint64(SBox[idx]))
+		}
+		s = AddRoundKey128(PermBits128(sub), c.rk[r])
+	}
+	return s
+}
+
+// SBoxInputs returns the state at the input of each round's SubCells
+// step; the 32 S-box indices of round r are the nibbles of element r-1.
+func (c *Cipher128) SBoxInputs(pt bitutil.Word128) []bitutil.Word128 {
+	return c.SBoxInputsN(pt, Rounds128)
+}
+
+// SBoxInputsN is SBoxInputs truncated to the first n rounds (the
+// trace-oracle fast path). n is clamped to the round count.
+func (c *Cipher128) SBoxInputsN(pt bitutil.Word128, n int) []bitutil.Word128 {
+	if n > Rounds128 {
+		n = Rounds128
+	}
+	states := make([]bitutil.Word128, n)
+	s := pt
+	for r := 0; r < n; r++ {
+		states[r] = s
+		s = Round128(s, c.rk[r])
+	}
+	return states
+}
+
+// PartialEncrypt128 applies rounds 1..n of the cipher.
+func PartialEncrypt128(pt bitutil.Word128, rks []RoundKey128, n int) bitutil.Word128 {
+	s := pt
+	for r := 0; r < n; r++ {
+		s = Round128(s, rks[r])
+	}
+	return s
+}
+
+// PartialDecrypt128 inverts rounds n..1.
+func PartialDecrypt128(ct bitutil.Word128, rks []RoundKey128, n int) bitutil.Word128 {
+	s := ct
+	for r := n - 1; r >= 0; r-- {
+		s = InvRound128(s, rks[r])
+	}
+	return s
+}

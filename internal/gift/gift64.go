@@ -1,0 +1,254 @@
+package gift
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"grinch/internal/bitutil"
+)
+
+// RoundKey64 is the key material mixed into the state at the end of one
+// GIFT-64 round: two 16-bit words U and V plus the 6-bit round constant.
+// Bit u_i is XORed into state bit 4i+1 and bit v_i into state bit 4i.
+type RoundKey64 struct {
+	U, V  uint16
+	Const uint8
+}
+
+// Cipher64 is a GIFT-64 instance with an expanded key schedule. It
+// implements the same Encrypt/Decrypt/BlockSize contract as
+// crypto/cipher.Block (8-byte blocks).
+type Cipher64 struct {
+	rk [Rounds64]RoundKey64
+}
+
+// NewCipher64 expands a 128-bit key (big-endian byte order, as in the
+// official test vectors) into a GIFT-64 cipher.
+func NewCipher64(key [16]byte) *Cipher64 {
+	return NewCipher64FromWord(bitutil.Word128FromBytes(key))
+}
+
+// NewCipher64FromWord expands a key given as a 128-bit word (limb k0 at
+// bits 0..15, k7 at bits 112..127).
+func NewCipher64FromWord(key bitutil.Word128) *Cipher64 {
+	c := &Cipher64{}
+	ks := ExpandKey64(key)
+	copy(c.rk[:], ks)
+	return c
+}
+
+// BlockSize returns the GIFT-64 block size in bytes.
+func (c *Cipher64) BlockSize() int { return 8 }
+
+// Encrypt encrypts the 8-byte block src into dst (big-endian blocks).
+// dst and src may overlap. It panics if either slice is shorter than 8
+// bytes, matching crypto/cipher.Block semantics.
+func (c *Cipher64) Encrypt(dst, src []byte) {
+	pt := binary.BigEndian.Uint64(src)
+	binary.BigEndian.PutUint64(dst, c.EncryptBlock(pt))
+}
+
+// Decrypt decrypts the 8-byte block src into dst (big-endian blocks).
+func (c *Cipher64) Decrypt(dst, src []byte) {
+	ct := binary.BigEndian.Uint64(src)
+	binary.BigEndian.PutUint64(dst, c.DecryptBlock(ct))
+}
+
+// EncryptBlock encrypts one 64-bit block in the natural b63..b0 order.
+func (c *Cipher64) EncryptBlock(pt uint64) uint64 {
+	s := pt
+	for r := 0; r < Rounds64; r++ {
+		s = Round64(s, c.rk[r])
+	}
+	return s
+}
+
+// DecryptBlock decrypts one 64-bit block.
+func (c *Cipher64) DecryptBlock(ct uint64) uint64 {
+	s := ct
+	for r := Rounds64 - 1; r >= 0; r-- {
+		s = InvRound64(s, c.rk[r])
+	}
+	return s
+}
+
+// RoundKeys returns the expanded round keys. The attack uses round key r
+// to relate round-(r+2) S-box indices to key bits.
+func (c *Cipher64) RoundKeys() []RoundKey64 {
+	out := make([]RoundKey64, Rounds64)
+	copy(out, c.rk[:])
+	return out
+}
+
+// ExpandKey64 runs the GIFT key schedule for GIFT-64: round r uses
+// U = k1, V = k0 of the current key state, after which the state rotates
+// k7‖…‖k0 ← (k1 ⋙ 2)‖(k0 ⋙ 12)‖k7‖…‖k2.
+func ExpandKey64(key bitutil.Word128) []RoundKey64 {
+	rks := make([]RoundKey64, Rounds64)
+	ks := key
+	for r := 0; r < Rounds64; r++ {
+		rks[r] = RoundKey64{
+			U:     ks.Word16(1),
+			V:     ks.Word16(0),
+			Const: RoundConstants[r],
+		}
+		ks = UpdateKeyState(ks)
+	}
+	return rks
+}
+
+// UpdateKeyState applies one step of the GIFT key-state rotation, shared
+// by GIFT-64 and GIFT-128 (the variants differ only in which limbs each
+// round extracts).
+func UpdateKeyState(ks bitutil.Word128) bitutil.Word128 {
+	var next bitutil.Word128
+	next = next.SetWord16(7, bitutil.RotR16(ks.Word16(1), 2))
+	next = next.SetWord16(6, bitutil.RotR16(ks.Word16(0), 12))
+	for i := uint(0); i < 6; i++ {
+		next = next.SetWord16(i, ks.Word16(i+2))
+	}
+	return next
+}
+
+// SubCells64 applies the S-box to all 16 segments.
+func SubCells64(s uint64) uint64 {
+	var out uint64
+	for i := uint(0); i < Segments64; i++ {
+		out |= uint64(SBox[(s>>(4*i))&0xf]) << (4 * i)
+	}
+	return out
+}
+
+// InvSubCells64 applies the inverse S-box to all 16 segments.
+func InvSubCells64(s uint64) uint64 {
+	var out uint64
+	for i := uint(0); i < Segments64; i++ {
+		out |= uint64(InvSBox[(s>>(4*i))&0xf]) << (4 * i)
+	}
+	return out
+}
+
+// PermBits64 applies the GIFT-64 bit permutation.
+func PermBits64(s uint64) uint64 {
+	return bitutil.PermuteBits64(s, &Perm64)
+}
+
+// InvPermBits64 applies the inverse bit permutation.
+func InvPermBits64(s uint64) uint64 {
+	return bitutil.PermuteBits64(s, &InvPerm64)
+}
+
+// AddRoundKey64 XORs the round key and round constant into the state:
+// u_i into bit 4i+1, v_i into bit 4i, the fixed 1 into bit 63 and the
+// constant bits c5..c0 into bits 23, 19, 15, 11, 7, 3.
+func AddRoundKey64(s uint64, rk RoundKey64) uint64 {
+	s ^= spreadKeyBits64(rk)
+	return s
+}
+
+// spreadKeyBits64 expands a round key into the 64-bit XOR mask applied by
+// AddRoundKey64. Because XOR is an involution the same mask also removes
+// the round key during decryption.
+func spreadKeyBits64(rk RoundKey64) uint64 {
+	var m uint64
+	for i := uint(0); i < 16; i++ {
+		m |= (uint64(rk.U>>i) & 1) << (4*i + 1)
+		m |= (uint64(rk.V>>i) & 1) << (4 * i)
+	}
+	m |= 1 << 63
+	for i := uint(0); i < 6; i++ {
+		m |= (uint64(rk.Const>>i) & 1) << (4*i + 3)
+	}
+	return m
+}
+
+// Round64 applies one full GIFT-64 round: SubCells, PermBits, AddRoundKey.
+func Round64(s uint64, rk RoundKey64) uint64 {
+	return AddRoundKey64(PermBits64(SubCells64(s)), rk)
+}
+
+// InvRound64 inverts one GIFT-64 round.
+func InvRound64(s uint64, rk RoundKey64) uint64 {
+	return InvSubCells64(InvPermBits64(AddRoundKey64(s, rk)))
+}
+
+// SBoxObserver receives every S-box table lookup performed by a traced
+// encryption: the 1-based round number, the segment within the state and
+// the 4-bit table index. This is the address stream a shared cache leaks.
+type SBoxObserver interface {
+	ObserveSBox(round, segment int, index uint8)
+}
+
+// ObserverFunc adapts a function to the SBoxObserver interface.
+type ObserverFunc func(round, segment int, index uint8)
+
+// ObserveSBox calls f.
+func (f ObserverFunc) ObserveSBox(round, segment int, index uint8) {
+	f(round, segment, index)
+}
+
+// EncryptTraced encrypts like EncryptBlock but reports every S-box lookup
+// to obs in execution order (round 1 first, segment 0 first within a
+// round), mirroring the lookup loop of the reference table-based C code.
+func (c *Cipher64) EncryptTraced(pt uint64, obs SBoxObserver) uint64 {
+	s := pt
+	for r := 0; r < Rounds64; r++ {
+		var sub uint64
+		for i := uint(0); i < Segments64; i++ {
+			idx := uint8((s >> (4 * i)) & 0xf)
+			obs.ObserveSBox(r+1, int(i), idx)
+			sub |= uint64(SBox[idx]) << (4 * i)
+		}
+		s = AddRoundKey64(PermBits64(sub), c.rk[r])
+	}
+	return s
+}
+
+// SBoxInputs returns, for each round r (1-based index r+1), the state at
+// the input of that round's SubCells step — i.e. the 16 S-box indices of
+// round r are the nibbles of element r-1. len(result) == Rounds64.
+func (c *Cipher64) SBoxInputs(pt uint64) []uint64 {
+	return c.SBoxInputsN(pt, Rounds64)
+}
+
+// SBoxInputsN is SBoxInputs truncated to the first n rounds — the
+// trace-oracle fast path when the probe window ends early. n is clamped
+// to the round count.
+func (c *Cipher64) SBoxInputsN(pt uint64, n int) []uint64 {
+	if n > Rounds64 {
+		n = Rounds64
+	}
+	states := make([]uint64, n)
+	s := pt
+	for r := 0; r < n; r++ {
+		states[r] = s
+		s = Round64(s, c.rk[r])
+	}
+	return states
+}
+
+// PartialEncrypt64 applies rounds 1..n of the cipher (n=0 returns pt
+// unchanged). The attack uses it to compute intermediate states from
+// already-recovered round keys.
+func PartialEncrypt64(pt uint64, rks []RoundKey64, n int) uint64 {
+	if n > len(rks) {
+		panic(fmt.Sprintf("gift: partial encrypt over %d rounds with %d round keys", n, len(rks)))
+	}
+	s := pt
+	for r := 0; r < n; r++ {
+		s = Round64(s, rks[r])
+	}
+	return s
+}
+
+// PartialDecrypt64 inverts rounds n..1.
+func PartialDecrypt64(ct uint64, rks []RoundKey64, n int) uint64 {
+	if n > len(rks) {
+		panic(fmt.Sprintf("gift: partial decrypt over %d rounds with %d round keys", n, len(rks)))
+	}
+	s := ct
+	for r := n - 1; r >= 0; r-- {
+		s = InvRound64(s, rks[r])
+	}
+	return s
+}

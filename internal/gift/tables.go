@@ -1,0 +1,99 @@
+// Package gift implements the GIFT family of lightweight block ciphers
+// (GIFT-64 and GIFT-128) exactly as specified in "GIFT: A Small PRESENT"
+// (Banik et al., CHES 2017 / ePrint 2017/622), which is the cipher
+// attacked by the GRINCH paper.
+//
+// Beyond plain encryption and decryption the package exposes what a cache
+// attack needs:
+//
+//   - a round-stepping API (round keys, per-round states, single round
+//     and inverse-round transforms), used by the attack to craft
+//     plaintexts and reverse-engineer key bits;
+//   - an instrumented table-based implementation that reports every
+//     S-box lookup (round, segment, index) to an observer — the memory
+//     access stream that leaks through the cache;
+//   - a bitsliced, lookup-free implementation used both as a correctness
+//     cross-check and as the constant-time countermeasure.
+//
+// Bit conventions follow the GIFT specification: state bit 0 (b0) is the
+// least significant bit, segment i is the nibble at bits 4i..4i+3, and a
+// 128-bit key is the limb vector k7‖k6‖…‖k0 of 16-bit words with k0 at
+// bits 0..15 (see internal/bitutil).
+package gift
+
+import "grinch/internal/bitutil"
+
+// SBox is the GIFT substitution box GS applied to every 4-bit segment in
+// the SubCells step. It is shared by GIFT-64 and GIFT-128.
+var SBox = [16]uint8{
+	0x1, 0xa, 0x4, 0xc, 0x6, 0xf, 0x3, 0x9,
+	0x2, 0xd, 0xb, 0x7, 0x5, 0x0, 0x8, 0xe,
+}
+
+// InvSBox is the inverse of SBox, used by decryption and by the attack's
+// plaintext-crafting step (paper Algorithm 1, Inv_SBOX).
+var InvSBox = bitutil.InvertSBox(&SBox)
+
+// Rounds64 and Rounds128 are the round counts fixed by the specification.
+const (
+	Rounds64  = 28
+	Rounds128 = 40
+)
+
+// Segments64 and Segments128 are the number of 4-bit segments per state.
+const (
+	Segments64  = 16
+	Segments128 = 32
+)
+
+// Perm64 is the GIFT-64 bit permutation: PermBits moves state bit i to
+// position Perm64[i]. Generated from the specification's closed form
+//
+//	P64(i) = 4⌊i/16⌋ + 16((3⌊(i mod 16)/4⌋ + (i mod 4)) mod 4) + (i mod 4)
+//
+// and cross-checked against the paper's explicit table in tables_test.go.
+var Perm64 = genPerm64()
+
+// InvPerm64 is the inverse of Perm64 (used by decryption and by the
+// attack's Inv_Permutation step in Algorithm 1).
+var InvPerm64 = bitutil.InvertPerm64(&Perm64)
+
+// Perm128 is the GIFT-128 bit permutation, from the closed form
+//
+//	P128(i) = 4⌊i/16⌋ + 32((3⌊(i mod 16)/4⌋ + (i mod 4)) mod 4) + (i mod 4)
+var Perm128 = genPerm128()
+
+// InvPerm128 is the inverse of Perm128.
+var InvPerm128 = bitutil.InvertPerm128(&Perm128)
+
+// RoundConstants holds the 6-bit round constants produced by the
+// specification's LFSR (x⁶+x⁵+1 style update: shift left, new bit
+// c0 = c5 ⊕ c4 ⊕ 1, starting from the all-zero state so the first
+// round uses 0x01). Sized for the longest variant.
+var RoundConstants = genRoundConstants(Rounds128)
+
+func genPerm64() [64]uint8 {
+	var p [64]uint8
+	for i := 0; i < 64; i++ {
+		p[i] = uint8(4*(i/16) + 16*((3*((i%16)/4)+i%4)%4) + i%4)
+	}
+	return p
+}
+
+func genPerm128() [128]uint8 {
+	var p [128]uint8
+	for i := 0; i < 128; i++ {
+		p[i] = uint8(4*(i/16) + 32*((3*((i%16)/4)+i%4)%4) + i%4)
+	}
+	return p
+}
+
+func genRoundConstants(n int) []uint8 {
+	cs := make([]uint8, n)
+	c := uint8(0)
+	for i := range cs {
+		c = (c<<1 | (c>>5^c>>4^1)&1) & 0x3f
+		cs[i] = c
+	}
+	return cs
+}

@@ -1,0 +1,125 @@
+package gift
+
+import "testing"
+
+// specPerm64 is the explicit P64 table from the GIFT specification
+// (Banik et al., Table 2), used to cross-check the generated closed form.
+var specPerm64 = [64]uint8{
+	0, 17, 34, 51, 48, 1, 18, 35, 32, 49, 2, 19, 16, 33, 50, 3,
+	4, 21, 38, 55, 52, 5, 22, 39, 36, 53, 6, 23, 20, 37, 54, 7,
+	8, 25, 42, 59, 56, 9, 26, 43, 40, 57, 10, 27, 24, 41, 58, 11,
+	12, 29, 46, 63, 60, 13, 30, 47, 44, 61, 14, 31, 28, 45, 62, 15,
+}
+
+// specPerm128 is the explicit P128 table from the specification.
+var specPerm128 = [128]uint8{
+	0, 33, 66, 99, 96, 1, 34, 67, 64, 97, 2, 35, 32, 65, 98, 3,
+	4, 37, 70, 103, 100, 5, 38, 71, 68, 101, 6, 39, 36, 69, 102, 7,
+	8, 41, 74, 107, 104, 9, 42, 75, 72, 105, 10, 43, 40, 73, 106, 11,
+	12, 45, 78, 111, 108, 13, 46, 79, 76, 109, 14, 47, 44, 77, 110, 15,
+	16, 49, 82, 115, 112, 17, 50, 83, 80, 113, 18, 51, 48, 81, 114, 19,
+	20, 53, 86, 119, 116, 21, 54, 87, 84, 117, 22, 55, 52, 85, 118, 23,
+	24, 57, 90, 123, 120, 25, 58, 91, 88, 121, 26, 59, 56, 89, 122, 27,
+	28, 61, 94, 127, 124, 29, 62, 95, 92, 125, 30, 63, 60, 93, 126, 31,
+}
+
+func TestPerm64MatchesSpecTable(t *testing.T) {
+	if Perm64 != specPerm64 {
+		t.Fatalf("generated Perm64 disagrees with specification table:\n got %v\nwant %v", Perm64, specPerm64)
+	}
+}
+
+func TestPerm128MatchesSpecTable(t *testing.T) {
+	if Perm128 != specPerm128 {
+		t.Fatalf("generated Perm128 disagrees with specification table:\n got %v\nwant %v", Perm128, specPerm128)
+	}
+}
+
+func TestInvPerm64IsInverse(t *testing.T) {
+	for i := range Perm64 {
+		if got := InvPerm64[Perm64[i]]; got != uint8(i) {
+			t.Fatalf("InvPerm64[Perm64[%d]] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestInvPerm128IsInverse(t *testing.T) {
+	for i := range Perm128 {
+		if got := InvPerm128[Perm128[i]]; got != uint8(i) {
+			t.Fatalf("InvPerm128[Perm128[%d]] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestSBoxIsPermutation(t *testing.T) {
+	var seen [16]bool
+	for _, v := range SBox {
+		if seen[v] {
+			t.Fatalf("S-box value %#x repeated", v)
+		}
+		seen[v] = true
+	}
+	for i, v := range SBox {
+		if InvSBox[v] != uint8(i) {
+			t.Fatalf("InvSBox[SBox[%#x]] = %#x, want %#x", i, InvSBox[v], i)
+		}
+	}
+}
+
+// TestRoundConstantSequence checks the first constants of the LFSR
+// sequence against the values listed in the GIFT specification.
+func TestRoundConstantSequence(t *testing.T) {
+	want := []uint8{
+		0x01, 0x03, 0x07, 0x0F, 0x1F, 0x3E, 0x3D, 0x3B, 0x37, 0x2F,
+		0x1E, 0x3C, 0x39, 0x33, 0x27, 0x0E, 0x1D, 0x3A, 0x35, 0x2B,
+		0x16, 0x2C, 0x18, 0x30, 0x21, 0x02, 0x05, 0x0B, 0x17, 0x2E,
+		0x1C, 0x38, 0x31, 0x23, 0x06, 0x0D, 0x1B, 0x36, 0x2D, 0x1A,
+	}
+	if len(RoundConstants) < len(want) {
+		t.Fatalf("only %d round constants generated, want at least %d", len(RoundConstants), len(want))
+	}
+	for i, w := range want {
+		if RoundConstants[i] != w {
+			t.Fatalf("RoundConstants[%d] = %#02x, want %#02x", i, RoundConstants[i], w)
+		}
+	}
+}
+
+func TestRoundConstantsNonZeroAndSixBit(t *testing.T) {
+	for i, c := range RoundConstants {
+		if c == 0 {
+			t.Fatalf("round constant %d is zero: LFSR entered the degenerate state", i)
+		}
+		if c > 0x3f {
+			t.Fatalf("round constant %d = %#x exceeds 6 bits", i, c)
+		}
+	}
+}
+
+func TestSBoxBranchNumberIsTwo(t *testing.T) {
+	// GIFT's design point (paper §II): its S-box only needs branching
+	// number 2, unlike PRESENT's BN3. Verify BN == 2: the minimum over
+	// nonzero input differences of (weight(Δin) + weight(Δout)).
+	popcount := func(x uint8) int {
+		n := 0
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+		return n
+	}
+	best := 8
+	for a := 1; a < 16; a++ {
+		for d := 1; d < 16; d++ {
+			dout := SBox[a] ^ SBox[a^d]
+			if dout == 0 {
+				continue
+			}
+			if w := popcount(uint8(d)) + popcount(dout); w < best {
+				best = w
+			}
+		}
+	}
+	if best != 2 {
+		t.Fatalf("GIFT S-box branch number = %d, specification says 2", best)
+	}
+}

@@ -1,0 +1,208 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grinch/internal/sim"
+)
+
+func testMesh(t *testing.T, w, h int) (*sim.Kernel, *Mesh) {
+	t.Helper()
+	k := sim.NewKernel()
+	m, err := New(k, sim.ClockMHz(50), Config{
+		Width: w, Height: h, RouterCycles: 2, LinkCycles: 1, FlitBytes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, m
+}
+
+func TestConfigValidation(t *testing.T) {
+	k := sim.NewKernel()
+	bad := []Config{
+		{Width: 0, Height: 3, FlitBytes: 4},
+		{Width: 3, Height: 0, FlitBytes: 4},
+		{Width: 3, Height: 3, FlitBytes: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := New(k, sim.ClockMHz(50), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestRouteXYShape(t *testing.T) {
+	_, m := testMesh(t, 3, 3)
+	path := m.Route(Coord{0, 0}, Coord{2, 2})
+	want := []Coord{{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}}
+	if len(path) != len(want) {
+		t.Fatalf("path %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	_, m := testMesh(t, 3, 3)
+	path := m.Route(Coord{1, 1}, Coord{1, 1})
+	if len(path) != 1 || path[0] != (Coord{1, 1}) {
+		t.Fatalf("self route %v", path)
+	}
+}
+
+// TestXYNoTurnBack encodes the deadlock-freedom discipline: once a
+// packet starts moving in Y it never moves in X again, and it never
+// reverses direction on either axis.
+func TestXYNoTurnBack(t *testing.T) {
+	_, m := testMesh(t, 4, 4)
+	f := func(sx, sy, dx, dy uint8) bool {
+		src := Coord{int(sx) % 4, int(sy) % 4}
+		dst := Coord{int(dx) % 4, int(dy) % 4}
+		path := m.Route(src, dst)
+		turnedY := false
+		var lastDX, lastDY int
+		for i := 1; i < len(path); i++ {
+			ddx := path[i].X - path[i-1].X
+			ddy := path[i].Y - path[i-1].Y
+			if ddx != 0 && ddy != 0 {
+				return false // diagonal hop
+			}
+			if ddy != 0 {
+				turnedY = true
+			}
+			if ddx != 0 && turnedY {
+				return false // X movement after Y began
+			}
+			if ddx != 0 && lastDX != 0 && ddx != lastDX {
+				return false // X reversal
+			}
+			if ddy != 0 && lastDY != 0 && ddy != lastDY {
+				return false // Y reversal
+			}
+			if ddx != 0 {
+				lastDX = ddx
+			}
+			if ddy != 0 {
+				lastDY = ddy
+			}
+		}
+		return len(path) == m.Hops(src, dst)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	_, m := testMesh(t, 5, 5)
+	if m.Hops(Coord{0, 0}, Coord{3, 4}) != 7 {
+		t.Fatal("manhattan distance wrong")
+	}
+	if m.Hops(Coord{2, 2}, Coord{2, 2}) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+func TestRouteOutsideMeshPanics(t *testing.T) {
+	_, m := testMesh(t, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Route(Coord{0, 0}, Coord{5, 0})
+}
+
+func TestSendLatencyNoContention(t *testing.T) {
+	k, m := testMesh(t, 3, 3) // 50 MHz: 20 ns/cycle; router 2cy=40ns, link 1cy/flit
+	var lat sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		// 4-byte payload = 1 flit. Path (0,0)→(2,0): 2 links, 3 routers.
+		lat = m.Send(p, Coord{0, 0}, Coord{2, 0}, 4)
+	})
+	k.Run()
+	// 3 routers × 40ns + 2 links × 1 flit × 20ns = 120 + 40 = 160ns.
+	if want := 160 * sim.Nanosecond; lat != want {
+		t.Fatalf("latency %v, want %v", lat, want)
+	}
+}
+
+func TestSendMultiFlitPayload(t *testing.T) {
+	k, m := testMesh(t, 2, 1)
+	var lat sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		// 10 bytes / 4-byte flits = 3 flits; 1 link, 2 routers.
+		lat = m.Send(p, Coord{0, 0}, Coord{1, 0}, 10)
+	})
+	k.Run()
+	// 2 routers × 40ns + 1 link × 3 flits × 20ns = 80 + 60 = 140ns.
+	if want := 140 * sim.Nanosecond; lat != want {
+		t.Fatalf("latency %v, want %v", lat, want)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	k, m := testMesh(t, 2, 1)
+	var first, second sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		m.Send(p, Coord{0, 0}, Coord{1, 0}, 4)
+		first = p.Now()
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		m.Send(p, Coord{0, 0}, Coord{1, 0}, 4)
+		second = p.Now()
+	})
+	k.Run()
+	if second <= first {
+		t.Fatalf("contending packets not serialized: %v then %v", first, second)
+	}
+	if m.Stats().WaitTime == 0 {
+		t.Fatal("no contention wait recorded")
+	}
+}
+
+func TestOppositeLinksIndependent(t *testing.T) {
+	k, m := testMesh(t, 2, 1)
+	var a, b sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		a = m.Send(p, Coord{0, 0}, Coord{1, 0}, 4)
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		b = m.Send(p, Coord{1, 0}, Coord{0, 0}, 4)
+	})
+	k.Run()
+	if a != b {
+		t.Fatalf("opposite-direction transfers interfered: %v vs %v", a, b)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	k, m := testMesh(t, 3, 3)
+	var rt sim.Time
+	k.Spawn("s", func(p *sim.Proc) {
+		rt = m.RoundTrip(p, Coord{0, 0}, Coord{2, 0}, 4, 4, 100*sim.Nanosecond)
+	})
+	k.Run()
+	// Two 160ns legs + 100ns processing.
+	if want := 420 * sim.Nanosecond; rt != want {
+		t.Fatalf("round trip %v, want %v", rt, want)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	k, m := testMesh(t, 3, 1)
+	k.Spawn("s", func(p *sim.Proc) {
+		m.Send(p, Coord{0, 0}, Coord{2, 0}, 4)
+		m.Send(p, Coord{2, 0}, Coord{0, 0}, 4)
+	})
+	k.Run()
+	s := m.Stats()
+	if s.Packets != 2 || s.Hops != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,107 @@
+package oracle
+
+import (
+	"fmt"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/cache"
+	"grinch/internal/gift"
+	"grinch/internal/probe"
+)
+
+// HierOracle runs the observation channel through a two-level cache
+// hierarchy (cache.Hierarchy) instead of an ideal trace: the victim's
+// S-box lookups travel L1→L2→DRAM and the attacker can only flush and
+// probe the shared L2. Cache state — in particular the victim's private
+// L1 — persists across encryptions, which is exactly what makes the
+// inclusion policy decisive (the paper's future-work question):
+//
+//   - inclusive L2: attacker flushes reach the victim's L1, every
+//     encryption re-exposes its first-touch accesses, the attack works;
+//   - non-inclusive L2: the victim's L1 keeps serving warm lines, the
+//     shared level goes quiet after the first encryption, the attack
+//     starves (TestHierarchyDefeatsAttackWhenNonInclusive).
+//
+// It implements probe.Channel.
+type HierOracle struct {
+	cfg         Config
+	cipher      *gift.Cipher64
+	hier        *cache.Hierarchy
+	table       probe.TableLayout
+	lines       int
+	encryptions uint64
+}
+
+// NewHierarchyChannel builds the channel. The hierarchy's line size must
+// equal cfg.LineWords (1 word = 1 byte) so the index→line mapping holds.
+func NewHierarchyChannel(key bitutil.Word128, cfg Config, hier *cache.Hierarchy, tableBase uint64) (*HierOracle, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lb := hier.L2.Config().LineBytes; lb != cfg.LineWords {
+		return nil, fmt.Errorf("oracle: hierarchy line size %d ≠ LineWords %d", lb, cfg.LineWords)
+	}
+	return &HierOracle{
+		cfg:    cfg,
+		cipher: gift.NewCipher64FromWord(key),
+		hier:   hier,
+		table:  probe.TableLayout{Base: tableBase, EntryBytes: 1, Entries: 16},
+		lines:  16 / cfg.LineWords,
+	}, nil
+}
+
+// Lines returns the observable table lines.
+func (o *HierOracle) Lines() int { return o.lines }
+
+// Encryptions returns the victim encryption count.
+func (o *HierOracle) Encryptions() uint64 { return o.encryptions }
+
+// Collect runs one victim encryption through the hierarchy with the
+// attacker's flush landing between rounds targetRound and targetRound+1
+// (or before the encryption when Flush is false), then probes the
+// shared L2.
+func (o *HierOracle) Collect(pt uint64, targetRound int) probe.LineSet {
+	o.encryptions++
+
+	first := 1
+	if o.cfg.Flush {
+		first = targetRound + 1
+	}
+	last := targetRound + o.cfg.ProbeRound
+	if last > gift.Rounds64 {
+		last = gift.Rounds64
+	}
+	states := o.cipher.SBoxInputsN(pt, last)
+
+	// Rounds before the flush point warm the hierarchy unobserved.
+	for r := 1; r < first; r++ {
+		o.victimRound(states[r-1])
+	}
+	// The attacker's flush: only the shared L2 is within reach; the
+	// hierarchy decides whether the victim's L1 copies go too.
+	for l := 0; l < o.lines; l++ {
+		o.hier.AttackerFlushLine(o.table.Base + uint64(l*o.cfg.LineWords))
+	}
+	// The observation window.
+	for r := first; r <= last; r++ {
+		o.victimRound(states[r-1])
+	}
+	// Probe the shared level.
+	var set probe.LineSet
+	for l := 0; l < o.lines; l++ {
+		if o.hier.AttackerProbeLine(o.table.Base + uint64(l*o.cfg.LineWords)) {
+			set = set.Add(l)
+		}
+	}
+	return set
+}
+
+// victimRound issues one round's 16 table lookups through the hierarchy.
+func (o *HierOracle) victimRound(state uint64) {
+	for seg := uint(0); seg < gift.Segments64; seg++ {
+		idx := int(bitutil.Nibble(state, seg))
+		o.hier.VictimAccess(o.table.EntryAddr(idx))
+	}
+}
+
+var _ probe.Channel = (*HierOracle)(nil)

@@ -1,0 +1,96 @@
+package oracle
+
+import (
+	"grinch/internal/bitutil"
+	"grinch/internal/gift"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+// Tracer128 produces per-round S-box input states for a GIFT-128
+// victim. gift.Cipher128 implements it.
+type Tracer128 interface {
+	SBoxInputs(pt bitutil.Word128) []bitutil.Word128
+}
+
+// truncatedTracer128 is the fast path for victims that can stop the
+// trace at the probe window's end.
+type truncatedTracer128 interface {
+	SBoxInputsN(pt bitutil.Word128, n int) []bitutil.Word128
+}
+
+// Oracle128 is the ideal probing channel against a GIFT-128 victim,
+// with the same window semantics as Oracle. It implements
+// core.Channel128.
+type Oracle128 struct {
+	cfg         Config
+	tracer      Tracer128
+	cipher      *gift.Cipher128
+	noise       *rng.Source
+	lines       int
+	encryptions uint64
+}
+
+// New128 builds an oracle for a GIFT-128 victim holding the given key.
+func New128(key bitutil.Word128, cfg Config) (*Oracle128, error) {
+	c := gift.NewCipher128FromWord(key)
+	o, err := New128FromTracer(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	o.cipher = c
+	return o, nil
+}
+
+// New128FromTracer builds an oracle over any traced GIFT-128 victim.
+func New128FromTracer(tr Tracer128, cfg Config) (*Oracle128, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Oracle128{
+		cfg:    cfg,
+		tracer: tr,
+		noise:  rng.New(cfg.Seed),
+		lines:  16 / cfg.LineWords,
+	}, nil
+}
+
+// Lines returns the number of cache lines the S-box table spans.
+func (o *Oracle128) Lines() int { return o.lines }
+
+// Encryptions returns the victim's encryption count.
+func (o *Oracle128) Encryptions() uint64 { return o.encryptions }
+
+// Cipher exposes the victim cipher when built with New128.
+func (o *Oracle128) Cipher() *gift.Cipher128 { return o.cipher }
+
+// Collect runs one victim encryption and returns the observed line set
+// for an attack on targetRound.
+func (o *Oracle128) Collect(pt bitutil.Word128, targetRound int) probe.LineSet {
+	o.encryptions++
+
+	first := 1
+	if o.cfg.Flush {
+		first = targetRound + 1
+	}
+	last := targetRound + o.cfg.ProbeRound
+	if last > gift.Rounds128 {
+		last = gift.Rounds128
+	}
+
+	var states []bitutil.Word128
+	if tt, ok := o.tracer.(truncatedTracer128); ok {
+		states = tt.SBoxInputsN(pt, last)
+	} else {
+		states = o.tracer.SBoxInputs(pt)
+	}
+	var set probe.LineSet
+	for r := first; r <= last; r++ {
+		s := states[r-1]
+		for i := uint(0); i < gift.Segments128; i++ {
+			idx := int(s.Nibble(i))
+			set = set.Add(idx / o.cfg.LineWords)
+		}
+	}
+	return applyNoise(o.cfg, o.noise, o.lines, set)
+}

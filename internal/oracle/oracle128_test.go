@@ -1,0 +1,179 @@
+package oracle
+
+import (
+	"testing"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/gift"
+	"grinch/internal/present"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+func TestOracle128CollectMatchesTrace(t *testing.T) {
+	key := bitutil.Word128{Lo: 0x1111, Hi: 0x2222}
+	c := gift.NewCipher128FromWord(key)
+	o, err := New128(key, Config{ProbeRound: 2, Flush: true, LineWords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for i := 0; i < 20; i++ {
+		pt := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
+		got := o.Collect(pt, 1)
+		states := c.SBoxInputs(pt)
+		var want probe.LineSet
+		for round := 2; round <= 3; round++ {
+			for seg := uint(0); seg < 32; seg++ {
+				want = want.Add(int(states[round-1].Nibble(seg)))
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: got %v want %v", i, got, want)
+		}
+	}
+	if o.Encryptions() != 20 {
+		t.Fatalf("Encryptions = %d", o.Encryptions())
+	}
+	if o.Cipher() == nil {
+		t.Fatal("Cipher() nil for New128 oracle")
+	}
+}
+
+func TestOracle128TruncatedFastPathAgrees(t *testing.T) {
+	// The SBoxInputsN fast path must produce identical observations to
+	// the full trace.
+	key := bitutil.Word128{Lo: 7, Hi: 9}
+	c := gift.NewCipher128FromWord(key)
+	fast, _ := New128(key, Config{ProbeRound: 1, Flush: true, LineWords: 2})
+	slow, _ := New128FromTracer(fullTracer128{c}, Config{ProbeRound: 1, Flush: true, LineWords: 2})
+	r := rng.New(2)
+	for i := 0; i < 30; i++ {
+		pt := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
+		if fast.Collect(pt, 2) != slow.Collect(pt, 2) {
+			t.Fatalf("fast path diverges at trial %d", i)
+		}
+	}
+}
+
+// fullTracer128 hides the SBoxInputsN method to force the slow path.
+type fullTracer128 struct{ c *gift.Cipher128 }
+
+func (f fullTracer128) SBoxInputs(pt bitutil.Word128) []bitutil.Word128 {
+	return f.c.SBoxInputs(pt)
+}
+
+func TestOracle128Validation(t *testing.T) {
+	if _, err := New128(bitutil.Word128{}, Config{ProbeRound: 0, LineWords: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestOracle128LineWindowClamp(t *testing.T) {
+	o, _ := New128(bitutil.Word128{Lo: 1}, Config{ProbeRound: 100, Flush: false, LineWords: 1})
+	set := o.Collect(bitutil.Word128{Lo: 2}, 1)
+	if set.Count() == 0 || set.Count() > 16 {
+		t.Fatalf("clamped window set = %v", set)
+	}
+}
+
+func TestOraclePresentWindowSemantics(t *testing.T) {
+	// PRESENT's signal round for key t is round t itself: at ProbeRound
+	// 1 with flush, Collect(pt, t) must equal the round-t index set.
+	var key [10]byte
+	key[3] = 0xab
+	c := present.NewCipher80(key)
+	o, err := NewPresent(c, Config{ProbeRound: 1, Flush: true, LineWords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 20; i++ {
+		pt := r.Uint64()
+		for _, target := range []int{1, 2, 5} {
+			got := o.Collect(pt, target)
+			states := c.SBoxInputs(pt)
+			var want probe.LineSet
+			for seg := uint(0); seg < 16; seg++ {
+				want = want.Add(int(states[target-1] >> (4 * seg) & 0xf))
+			}
+			if got != want {
+				t.Fatalf("target %d: got %v want %v", target, got, want)
+			}
+		}
+	}
+}
+
+func TestOraclePresentNoFlushSuperset(t *testing.T) {
+	var key [10]byte
+	c := present.NewCipher80(key)
+	of, _ := NewPresent(c, Config{ProbeRound: 2, Flush: true, LineWords: 1})
+	onf, _ := NewPresent(c, Config{ProbeRound: 2, Flush: false, LineWords: 1})
+	r := rng.New(4)
+	for i := 0; i < 20; i++ {
+		pt := r.Uint64()
+		f, nf := of.Collect(pt, 3), onf.Collect(pt, 3)
+		if f.Union(nf) != nf {
+			t.Fatal("flush observation not a subset of no-flush")
+		}
+	}
+}
+
+func TestOraclePresentValidation(t *testing.T) {
+	var key [10]byte
+	c := present.NewCipher80(key)
+	if _, err := NewPresent(c, Config{ProbeRound: 1, LineWords: 3}); err == nil {
+		t.Fatal("invalid line width accepted")
+	}
+}
+
+func TestEvictTimeMaskCyclesAllLines(t *testing.T) {
+	key := bitutil.Word128{Lo: 5, Hi: 6}
+	o, err := New(key, Config{ProbeRound: 1, Flush: true, LineWords: 1, Probe: ProbeEvictTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for i := 0; i < 32; i++ {
+		set, mask := o.CollectMasked(uint64(i), 1)
+		if mask.Count() != 1 {
+			t.Fatalf("Evict+Time mask %v examines %d lines", mask, mask.Count())
+		}
+		if set.Union(mask) != mask {
+			t.Fatalf("set %v leaks outside mask %v", set, mask)
+		}
+		seen[mask.Sole()]++
+	}
+	for l := 0; l < 16; l++ {
+		if seen[l] != 2 {
+			t.Fatalf("line %d probed %d times in 32 encryptions", l, seen[l])
+		}
+	}
+}
+
+func TestFlushReloadMaskIsFull(t *testing.T) {
+	key := bitutil.Word128{Lo: 5, Hi: 6}
+	o, _ := New(key, Config{ProbeRound: 1, Flush: true, LineWords: 4})
+	set, mask := o.CollectMasked(42, 1)
+	if mask != probe.FullSet(4) {
+		t.Fatalf("Flush+Reload mask = %v", mask)
+	}
+	if set.Union(mask) != mask {
+		t.Fatal("set exceeds table lines")
+	}
+}
+
+func TestEvictTimeMembershipAgreesWithFullView(t *testing.T) {
+	key := bitutil.Word128{Lo: 0xdead, Hi: 0xbeef}
+	et, _ := New(key, Config{ProbeRound: 1, Flush: true, LineWords: 1, Probe: ProbeEvictTime})
+	fr, _ := New(key, Config{ProbeRound: 1, Flush: true, LineWords: 1})
+	r := rng.New(9)
+	for i := 0; i < 64; i++ {
+		pt := r.Uint64()
+		full := fr.Collect(pt, 1)
+		set, mask := et.CollectMasked(pt, 1)
+		if full.Intersect(mask) != set {
+			t.Fatalf("Evict+Time view %v inconsistent with full view %v (mask %v)", set, full, mask)
+		}
+	}
+}

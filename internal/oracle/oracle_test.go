@@ -1,0 +1,194 @@
+package oracle
+
+import (
+	"testing"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/gift"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+var testKey = bitutil.Word128{Lo: 0x0123456789abcdef, Hi: 0xfedcba9876543210}
+
+func mustOracle(t *testing.T, cfg Config) *Oracle {
+	t.Helper()
+	o, err := New(testKey, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{ProbeRound: 0, LineWords: 1},
+		{ProbeRound: 1, LineWords: 3},
+		{ProbeRound: 1, LineWords: 0},
+		{ProbeRound: 1, LineWords: 1, FalsePresence: 1.5},
+		{ProbeRound: 1, LineWords: 1, FalseAbsence: -0.1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(testKey, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestLinesForWidths(t *testing.T) {
+	for _, c := range []struct{ words, lines int }{{1, 16}, {2, 8}, {4, 4}, {8, 2}, {16, 1}} {
+		o := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: c.words})
+		if o.Lines() != c.lines {
+			t.Errorf("LineWords=%d: Lines=%d, want %d", c.words, o.Lines(), c.lines)
+		}
+	}
+}
+
+// TestCollectMatchesReferenceTrace recomputes the expected observation
+// from the cipher's round states and compares.
+func TestCollectMatchesReferenceTrace(t *testing.T) {
+	cases := []struct {
+		probeRound  int
+		flush       bool
+		targetRound int
+	}{
+		{1, true, 1}, {1, false, 1}, {3, true, 1}, {3, false, 2}, {2, true, 4}, {28, false, 1},
+	}
+	c := gift.NewCipher64FromWord(testKey)
+	r := rng.New(4)
+	for _, cse := range cases {
+		o := mustOracle(t, Config{ProbeRound: cse.probeRound, Flush: cse.flush, LineWords: 1})
+		for i := 0; i < 10; i++ {
+			pt := r.Uint64()
+			got := o.Collect(pt, cse.targetRound)
+
+			states := c.SBoxInputs(pt)
+			first := 1
+			if cse.flush {
+				first = cse.targetRound + 1
+			}
+			last := cse.targetRound + cse.probeRound
+			if last > gift.Rounds64 {
+				last = gift.Rounds64
+			}
+			var want probe.LineSet
+			for round := first; round <= last; round++ {
+				for seg := uint(0); seg < 16; seg++ {
+					want = want.Add(int(bitutil.Nibble(states[round-1], seg)))
+				}
+			}
+			if got != want {
+				t.Fatalf("probeRound=%d flush=%v target=%d: got %v want %v",
+					cse.probeRound, cse.flush, cse.targetRound, got, want)
+			}
+		}
+	}
+}
+
+func TestFlushObservesOnlyTargetWindow(t *testing.T) {
+	// At ProbeRound 1 with flush the observed set is exactly the 16
+	// round-(t+1) accesses; with at most 16 distinct nibbles the count
+	// is ≤ 16 and usually ≥ 8.
+	o := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: 1})
+	set := o.Collect(0x1234567890abcdef, 1)
+	if set.Count() > 16 || set.Count() < 2 {
+		t.Fatalf("window observation has %d lines", set.Count())
+	}
+}
+
+func TestNoFlushSupersetOfFlush(t *testing.T) {
+	r := rng.New(8)
+	of := mustOracle(t, Config{ProbeRound: 2, Flush: true, LineWords: 1})
+	onf := mustOracle(t, Config{ProbeRound: 2, Flush: false, LineWords: 1})
+	for i := 0; i < 50; i++ {
+		pt := r.Uint64()
+		f := of.Collect(pt, 1)
+		nf := onf.Collect(pt, 1)
+		if f.Union(nf) != nf {
+			t.Fatalf("flush observation %v not a subset of no-flush %v", f, nf)
+		}
+	}
+}
+
+func TestLineGranularityCoarsens(t *testing.T) {
+	r := rng.New(9)
+	fine := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: 1})
+	coarse := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: 4})
+	for i := 0; i < 50; i++ {
+		pt := r.Uint64()
+		f := fine.Collect(pt, 1)
+		c4 := coarse.Collect(pt, 1)
+		var want probe.LineSet
+		for _, idx := range f.Lines() {
+			want = want.Add(idx / 4)
+		}
+		if c4 != want {
+			t.Fatalf("coarse set %v, want %v (from %v)", c4, want, f)
+		}
+	}
+}
+
+func TestEncryptionCounter(t *testing.T) {
+	o := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: 1})
+	for i := 0; i < 7; i++ {
+		o.Collect(uint64(i), 1)
+	}
+	if o.Encryptions() != 7 {
+		t.Fatalf("Encryptions = %d", o.Encryptions())
+	}
+}
+
+func TestFalsePresenceAddsLines(t *testing.T) {
+	clean := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: 1})
+	noisy := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: 1, FalsePresence: 0.5, Seed: 3})
+	r := rng.New(10)
+	extra := 0
+	for i := 0; i < 200; i++ {
+		pt := r.Uint64()
+		c := clean.Collect(pt, 1)
+		n := noisy.Collect(pt, 1)
+		if c.Union(n) != n {
+			t.Fatalf("false presence removed lines")
+		}
+		extra += n.Count() - c.Count()
+	}
+	if extra == 0 {
+		t.Fatal("FalsePresence=0.5 added no lines in 200 trials")
+	}
+}
+
+func TestFalseAbsenceRemovesLines(t *testing.T) {
+	clean := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: 1})
+	noisy := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: 1, FalseAbsence: 0.5, Seed: 5})
+	r := rng.New(11)
+	removed := 0
+	for i := 0; i < 200; i++ {
+		pt := r.Uint64()
+		c := clean.Collect(pt, 1)
+		n := noisy.Collect(pt, 1)
+		if n.Union(c) != c {
+			t.Fatalf("false absence added lines")
+		}
+		removed += c.Count() - n.Count()
+	}
+	if removed == 0 {
+		t.Fatal("FalseAbsence=0.5 removed no lines in 200 trials")
+	}
+}
+
+func TestNoiseDeterministicBySeed(t *testing.T) {
+	run := func() []probe.LineSet {
+		o := mustOracle(t, Config{ProbeRound: 1, Flush: true, LineWords: 1, FalsePresence: 0.3, FalseAbsence: 0.3, Seed: 42})
+		var out []probe.LineSet
+		for i := 0; i < 50; i++ {
+			out = append(out, o.Collect(uint64(i)*0x9e3779b97f4a7c15, 1))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("noise not deterministic at trial %d", i)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package oracle
+
+import (
+	"grinch/internal/present"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+// TracerP produces per-round S-box index states for a PRESENT victim
+// (present.Cipher80 and present.Cipher128 implement it).
+type TracerP interface {
+	SBoxInputs(pt uint64) []uint64
+}
+
+// truncatedTracerP is the fast path for victims that can stop the trace
+// early.
+type truncatedTracerP interface {
+	SBoxInputsN(pt uint64, n int) []uint64
+}
+
+// OracleP is the ideal probing channel against a table-based PRESENT
+// victim. PRESENT adds the round key before SubCells, so the signal
+// window for round key t starts at round t (not t+1 as in GIFT):
+//
+//	[t,  t+ProbeRound-1]  with flush
+//	[1,  t+ProbeRound-1]  without flush
+//
+// It implements core.ChannelP.
+type OracleP struct {
+	cfg         Config
+	tracer      TracerP
+	noise       *rng.Source
+	lines       int
+	encryptions uint64
+}
+
+// NewPresent builds an oracle over a PRESENT victim.
+func NewPresent(tr TracerP, cfg Config) (*OracleP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &OracleP{
+		cfg:    cfg,
+		tracer: tr,
+		noise:  rng.New(cfg.Seed),
+		lines:  16 / cfg.LineWords,
+	}, nil
+}
+
+// Lines returns the number of cache lines the S-box table spans.
+func (o *OracleP) Lines() int { return o.lines }
+
+// Encryptions returns the victim's encryption count.
+func (o *OracleP) Encryptions() uint64 { return o.encryptions }
+
+// Collect runs one victim encryption and returns the observed line set
+// for an attack on round key targetRound.
+func (o *OracleP) Collect(pt uint64, targetRound int) probe.LineSet {
+	o.encryptions++
+
+	first := 1
+	if o.cfg.Flush {
+		first = targetRound
+	}
+	last := targetRound + o.cfg.ProbeRound - 1
+	if last > present.Rounds {
+		last = present.Rounds
+	}
+
+	var states []uint64
+	if tt, ok := o.tracer.(truncatedTracerP); ok {
+		states = tt.SBoxInputsN(pt, last)
+	} else {
+		states = o.tracer.SBoxInputs(pt)
+	}
+	var set probe.LineSet
+	for r := first; r <= last; r++ {
+		s := states[r-1]
+		for i := uint(0); i < present.Segments; i++ {
+			idx := int(s >> (4 * i) & 0xf)
+			set = set.Add(idx / o.cfg.LineWords)
+		}
+	}
+	return applyNoise(o.cfg, o.noise, o.lines, set)
+}

@@ -1,0 +1,131 @@
+// Package rng provides a small deterministic pseudo-random number
+// generator used by every stochastic component in this repository
+// (plaintext randomization, replacement policies, noise injection,
+// experiment trials).
+//
+// A dedicated generator, rather than math/rand, guarantees that
+// experiment outputs are bit-for-bit reproducible across Go releases:
+// the sequence is fixed by this package, not by the standard library's
+// unspecified algorithm. The generator is xoshiro256**, seeded through
+// SplitMix64 as its authors recommend.
+package rng
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed. Two Sources built
+// from equal seeds produce identical streams.
+func New(seed uint64) *Source {
+	r := &Source{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator state from seed using SplitMix64, so that
+// even adjacent seeds yield uncorrelated streams.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro256** requires a not-all-zero state; SplitMix64 cannot emit
+	// four zeros in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *Source) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded
+	// integers without division in the common case.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t&mask + aLo*bHi
+	hi = aHi*bHi + t>>32 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Nibble returns a uniform 4-bit value, the unit of GIFT plaintext
+// randomization.
+func (r *Source) Nibble() uint64 {
+	return r.Uint64() & 0xf
+}
+
+// Bool returns a uniform boolean.
+func (r *Source) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a uniform permutation of 0..n-1 (Fisher–Yates).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split returns a new Source whose stream is independent of r's: it is
+// seeded from r's output, letting one experiment seed fan out into
+// per-trial generators deterministically.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}

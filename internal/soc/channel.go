@@ -1,0 +1,55 @@
+package soc
+
+import "grinch/internal/probe"
+
+// Platform is the common surface of SingleSoC and MPSoC.
+type Platform interface {
+	// RunSession encrypts pt on the platform under attacker probing.
+	RunSession(pt uint64) Session
+	// RunSessionUntil is RunSession with probing stopped (and the
+	// remaining victim rounds fast-forwarded) once the probe windows
+	// cover probeUntilRound.
+	RunSessionUntil(pt uint64, probeUntilRound int) Session
+	// Table locates the victim's S-box table.
+	Table() probe.TableLayout
+	// Sessions counts victim encryptions so far.
+	Sessions() uint64
+	// EarliestProbeRound reports where the first probe lands (Table II).
+	EarliestProbeRound() int
+}
+
+var (
+	_ Platform = (*SingleSoC)(nil)
+	_ Platform = (*MPSoC)(nil)
+)
+
+// PlatformChannel adapts a platform to the attack's probe.Channel: each
+// Collect runs a full platform session and returns the union of the
+// probe windows covering the target's signal round. The window width —
+// and therefore the channel's noise — is dictated by the platform's
+// real scheduling and interconnect timing rather than by an oracle
+// parameter.
+type PlatformChannel struct {
+	P Platform
+	// LineBytes must match the platform's cache line size.
+	LineBytes int
+}
+
+// Lines returns the number of cache lines the table spans.
+func (c *PlatformChannel) Lines() int {
+	return c.P.Table().LinesIn(c.LineBytes)
+}
+
+// Encryptions returns the victim's total encryptions.
+func (c *PlatformChannel) Encryptions() uint64 { return c.P.Sessions() }
+
+// Collect runs one probed encryption and extracts the observation
+// relevant to targetRound: the S-box accesses of round targetRound+1.
+// Probing stops once that round is fully covered, so campaigns scale
+// with the target depth rather than the full encryption length.
+func (c *PlatformChannel) Collect(pt uint64, targetRound int) probe.LineSet {
+	sess := c.P.RunSessionUntil(pt, targetRound+1)
+	return windowsCovering(sess.Windows, targetRound+1)
+}
+
+var _ probe.Channel = (*PlatformChannel)(nil)
