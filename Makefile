@@ -1,0 +1,29 @@
+# Development targets. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: check vet build test race bench quick
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The platform models run coroutine-style simulation processes, so the
+# race detector is the gate that keeps them honest.
+race:
+	$(GO) test -race ./...
+
+# Serial-vs-pooled campaign execution of a small Table I grid.
+bench:
+	$(GO) test -bench BenchmarkTable1Campaign -benchtime 3x -run XXX ./internal/experiments/
+
+# Fast smoke of the full paper reproduction.
+quick:
+	$(GO) run ./cmd/experiments -quick all

@@ -1,0 +1,218 @@
+// Command campaign runs a swept attack-experiment campaign on the
+// internal/campaign orchestrator: parallel, resumable, with structured
+// result output.
+//
+// Usage:
+//
+//	campaign table1                          # built-in preset, defaults
+//	campaign -trials 10 -workers 8 fig3      # scaled-up Fig. 3 sweep
+//	campaign -spec sweep.json -out results.jsonl
+//	campaign -journal t1.journal table1      # checkpointed; re-run to resume
+//	campaign -csv results.csv -quiet table2
+//
+// A campaign is a grid of independent attack jobs (probe round × flush
+// × line size × platform × clock × trial). Jobs run on a bounded
+// worker pool; every job's RNG derives from (campaign seed, job
+// index), so results are identical for any -workers value. With
+// -journal, completed jobs are checkpointed after each finish: an
+// interrupted run (Ctrl-C drains in-flight jobs and flushes the
+// journal) resumes exactly where it stopped.
+//
+// Presets: fig3 | table1 | table2 | recovery. A -spec JSON file has
+// the shape:
+//
+//	{"name":"sweep","kind":"first-round","seed":2021,"trials":5,
+//	 "budget":1000000,"line_words":[1,2,4,8],"flush":[true],
+//	 "probe_rounds":[1,2,3,4,5]}
+//
+// Progress (with ETA) is reported on stderr; the per-cell aggregate
+// table lands on stdout after the run, alongside any -out/-csv files.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"grinch/internal/campaign"
+	"grinch/internal/experiments"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "campaign spec JSON file (alternative to a preset name)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); results are identical for any value")
+		trials   = flag.Int("trials", 3, "trials per grid cell (presets only)")
+		budget   = flag.Uint64("budget", 1_000_000, "per-attack encryption budget (presets only)")
+		seed     = flag.Uint64("seed", 2021, "campaign seed (presets only)")
+		journal  = flag.String("journal", "", "checkpoint journal path; an existing journal resumes the campaign")
+		outPath  = flag.String("out", "", "JSON-lines result file (\"-\" for stdout)")
+		csvPath  = flag.String("csv", "", "CSV result file")
+		timing   = flag.Bool("timing", false, "include per-job duration/worker in -out records (breaks byte-determinism)")
+		quiet    = flag.Bool("quiet", false, "suppress the stderr progress ticker")
+	)
+	flag.Parse()
+
+	spec, err := loadSpec(*specPath, experiments.Options{Trials: *trials, Budget: *budget, Seed: *seed})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	sinks, closers, err := buildSinks(*outPath, *csvPath, *timing)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	agg := &campaign.Aggregator{}
+	sinks = append(sinks, agg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	metrics := campaign.NewMetrics()
+	var done64 atomic.Int64
+	opts := campaign.Options{
+		Workers: *workers,
+		Sinks:   sinks,
+		Journal: *journal,
+		Metrics: metrics,
+		Progress: func(done, total int) {
+			done64.Store(int64(done))
+		},
+	}
+
+	start := time.Now()
+	var stopTicker func()
+	if !*quiet {
+		stopTicker = startTicker(spec, metrics, &done64, start)
+	}
+	rep, err := campaign.Run(ctx, spec, experiments.Execute, opts)
+	if stopTicker != nil {
+		stopTicker()
+	}
+	for _, c := range closers {
+		c()
+	}
+
+	switch {
+	case err == context.Canceled:
+		fmt.Fprintf(os.Stderr,
+			"campaign %s: interrupted after %d/%d jobs (%v); journal flushed — re-run with the same flags to resume\n",
+			spec.Name, rep.Skipped+rep.Executed, rep.Total, rep.Elapsed.Round(time.Millisecond))
+		os.Exit(130)
+	case err != nil:
+		fatalf("%v", err)
+	}
+
+	printSummary(rep, agg, metrics)
+}
+
+// loadSpec builds the campaign spec from -spec or a preset argument.
+func loadSpec(path string, opt experiments.Options) (campaign.Spec, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return campaign.Spec{}, err
+		}
+		return campaign.ParseSpec(data)
+	}
+	if flag.NArg() != 1 {
+		return campaign.Spec{}, fmt.Errorf("campaign: need a preset (fig3, table1, table2, recovery) or -spec file")
+	}
+	return experiments.SpecByName(flag.Arg(0), opt)
+}
+
+// buildSinks assembles the file sinks and their close functions.
+func buildSinks(outPath, csvPath string, timing bool) ([]campaign.Sink, []func(), error) {
+	var sinks []campaign.Sink
+	var closers []func()
+	open := func(path string) (*os.File, error) {
+		if path == "-" {
+			return os.Stdout, nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, func() { f.Close() })
+		return f, nil
+	}
+	if outPath != "" {
+		f, err := open(outPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		sinks = append(sinks, &campaign.JSONLSink{W: f, Timing: timing})
+	}
+	if csvPath != "" {
+		f, err := open(csvPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		sinks = append(sinks, &campaign.CSVSink{W: f})
+	}
+	return sinks, closers, nil
+}
+
+// startTicker reports progress + ETA on stderr twice a second until
+// stopped.
+func startTicker(spec campaign.Spec, m *campaign.Metrics, done *atomic.Int64, start time.Time) func() {
+	total := spec.NumJobs()
+	stop := make(chan struct{})
+	tick := time.NewTicker(500 * time.Millisecond)
+	go func() {
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				fmt.Fprintln(os.Stderr)
+				return
+			case <-tick.C:
+				snap := m.Snapshot()
+				d := int(done.Load())
+				elapsed := time.Since(start)
+				line := fmt.Sprintf("\rcampaign %s: %d/%d jobs", spec.Name, d, total)
+				if executed := snap.JobsDone; executed > 0 {
+					rate := float64(executed) / elapsed.Seconds()
+					remaining := total - d
+					eta := time.Duration(float64(remaining)/rate) * time.Second
+					line += fmt.Sprintf(" (%.1f jobs/s, queue %d, in-flight %d, ETA %v)",
+						rate, snap.QueueDepth, snap.InFlight, eta.Round(time.Second))
+				}
+				fmt.Fprint(os.Stderr, line+"   ")
+			}
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// printSummary renders the per-cell aggregate table and run totals.
+func printSummary(rep campaign.Report, agg *campaign.Aggregator, m *campaign.Metrics) {
+	fmt.Printf("campaign %s: %d jobs (%d resumed from journal, %d failed) in %v\n",
+		rep.Spec.Name, rep.Total, rep.Skipped, rep.Failed, rep.Elapsed.Round(time.Millisecond))
+	snap := m.Snapshot()
+	fmt.Printf("  %d victim encryptions this run; per-job %.1fms mean, %.1fms max\n\n",
+		snap.Encryptions, snap.JobMSMean, snap.JobMSMax)
+	fmt.Printf("%-44s %8s %12s %12s %12s\n", "cell", "trials", "median", "min", "max")
+	for _, c := range agg.Cells() {
+		s := c.Summary()
+		median := fmt.Sprintf("%.0f", s.Median)
+		if c.DroppedOut {
+			median = ">" + fmt.Sprintf("%.0f", s.Max)
+		}
+		if len(c.Rounds) > 0 {
+			// Platform-race cells measure a round, not an effort.
+			median = fmt.Sprintf("round %d", c.Rounds[len(c.Rounds)/2])
+		}
+		fmt.Printf("%-44s %8d %12s %12.0f %12.0f\n", c.Point, len(c.Trials), median, s.Min, s.Max)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -16,8 +16,14 @@
 //	-budget N   per-attack encryption cap (default 1000000, the paper's
 //	            practicality threshold)
 //	-seed N     reproducibility seed
+//	-workers N  campaign worker pool for the swept experiments
+//	            (default GOMAXPROCS; results identical for any value)
 //	-csv        emit CSV instead of aligned text (fig3/table1 only)
 //	-quick      small budgets for a fast smoke run
+//
+// The swept experiments (fig3, table1, table2, recovery) run through
+// the internal/campaign orchestrator. For journaled, resumable sweeps
+// with streaming result files, use cmd/campaign instead.
 package main
 
 import (
@@ -31,15 +37,16 @@ import (
 
 func main() {
 	var (
-		trials = flag.Int("trials", 3, "trials per experiment cell")
-		budget = flag.Uint64("budget", 1_000_000, "per-attack encryption budget (drop-out threshold)")
-		seed   = flag.Uint64("seed", 2021, "reproducibility seed")
-		csv    = flag.Bool("csv", false, "emit CSV (fig3 and table1)")
-		quick  = flag.Bool("quick", false, "fast smoke run (1 trial, 100k budget, fewer cells)")
+		trials  = flag.Int("trials", 3, "trials per experiment cell")
+		budget  = flag.Uint64("budget", 1_000_000, "per-attack encryption budget (drop-out threshold)")
+		seed    = flag.Uint64("seed", 2021, "reproducibility seed")
+		workers = flag.Int("workers", 0, "campaign worker pool (0 = GOMAXPROCS)")
+		csv     = flag.Bool("csv", false, "emit CSV (fig3 and table1)")
+		quick   = flag.Bool("quick", false, "fast smoke run (1 trial, 100k budget, fewer cells)")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Trials: *trials, Budget: *budget, Seed: *seed}
+	opt := experiments.Options{Trials: *trials, Budget: *budget, Seed: *seed, Workers: *workers}
 	fig3Rounds := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	t1Lines := []int{1, 2, 4, 8}
 	t1Rounds := []int{1, 2, 3, 4, 5}
@@ -68,7 +75,7 @@ func main() {
 	case "table1":
 		run("table1", func() { table1(opt, t1Lines, t1Rounds, *csv) })
 	case "table2":
-		run("table2", func() { table2(opt.Seed) })
+		run("table2", func() { table2(opt) })
 	case "recovery":
 		run("recovery", func() { recovery(opt) })
 	case "counter":
@@ -80,7 +87,7 @@ func main() {
 	case "all":
 		run("fig3", func() { fig3(opt, fig3Rounds, *csv) })
 		run("table1", func() { table1(opt, t1Lines, t1Rounds, *csv) })
-		run("table2", func() { table2(opt.Seed) })
+		run("table2", func() { table2(opt) })
 		run("recovery", func() { recovery(opt) })
 		run("counter", func() { counter(opt) })
 		run("compare", func() { compare(opt) })
@@ -127,8 +134,8 @@ func table1(opt experiments.Options, lines, rounds []int, csv bool) {
 	fmt.Print(experiments.RenderTable1(rows, rounds))
 }
 
-func table2(seed uint64) {
-	fmt.Print(experiments.RenderTable2(experiments.Table2(seed, nil)))
+func table2(opt experiments.Options) {
+	fmt.Print(experiments.RenderTable2(experiments.Table2(opt, nil)))
 }
 
 func recovery(opt experiments.Options) {

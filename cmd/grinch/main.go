@@ -9,16 +9,23 @@
 //	grinch -line-words 2             # wide cache lines (hypothesis mode)
 //	grinch -platform mpsoc -mhz 50   # attack over the full MPSoC model
 //	grinch -first-round-only         # the Fig.3/Table I metric
+//	grinch -json                     # machine-readable result record
+//
+// With -json the run emits a single JSON object on stdout in the same
+// schema as a campaign job result (internal/campaign.Result), so one-off
+// runs and campaign sweeps land in the same analysis pipeline.
 package main
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"grinch/internal/bitutil"
+	"grinch/internal/campaign"
 	"grinch/internal/core"
 	"grinch/internal/gift"
 	"grinch/internal/oracle"
@@ -41,6 +48,7 @@ func main() {
 		firstOnly  = flag.Bool("first-round-only", false, "recover only the 32 first-round key bits")
 		threshold  = flag.Float64("threshold", 1.0, "candidate survival ratio (1 = strict intersection)")
 		verbose    = flag.Bool("v", false, "print per-segment elimination progress")
+		jsonOut    = flag.Bool("json", false, "emit one campaign-result JSON record instead of text")
 	)
 	flag.Parse()
 
@@ -88,34 +96,88 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	// record mirrors a campaign job result so a single run slots into
+	// the same analysis pipeline as a sweep (schema of
+	// internal/campaign.Result; job index 0 of a one-job grid).
+	record := campaign.Result{
+		Point: campaign.Point{
+			Kind:       "recovery",
+			Platform:   *platform,
+			MHz:        *mhz,
+			LineWords:  *lineWords,
+			Flush:      !*noFlush,
+			ProbeRound: *probeRound,
+		},
+		Seed: *seed,
+	}
+	if *firstOnly {
+		record.Point.Kind = "first-round"
+	}
+
 	kb := key.Bytes()
-	fmt.Printf("victim key:      %x\n", kb)
-	fmt.Printf("channel:         %s (probe round %d, flush %v, %d-word lines, %d observable lines)\n",
-		*platform, *probeRound, !*noFlush, *lineWords, ch.Lines())
+	if !*jsonOut {
+		fmt.Printf("victim key:      %x\n", kb)
+		fmt.Printf("channel:         %s (probe round %d, flush %v, %d-word lines, %d observable lines)\n",
+			*platform, *probeRound, !*noFlush, *lineWords, ch.Lines())
+	}
 
 	start := time.Now()
 	if *firstOnly {
 		out, err := attacker.AttackRound(1, nil, nil)
+		record.DurationNS = time.Since(start).Nanoseconds()
 		if err != nil {
+			if *jsonOut {
+				record.Encryptions = attacker.Encryptions()
+				record.DroppedOut = true
+				emitJSON(record)
+				os.Exit(1)
+			}
 			fatalf("first-round attack failed: %v", err)
 		}
 		want := gift.ExpandKey64(key)[0]
-		fmt.Printf("first-round attack: %d encryptions, %v wall time\n", out.Encryptions, time.Since(start).Round(time.Millisecond))
+		record.Encryptions = out.Encryptions
 		if rk, ok := out.Unique(); ok {
+			record.Correct = rk.U == want.U && rk.V == want.V
+			if *jsonOut {
+				emitJSON(record)
+				return
+			}
 			status := "MATCH"
-			if rk.U != want.U || rk.V != want.V {
+			if !record.Correct {
 				status = "MISMATCH"
 			}
+			fmt.Printf("first-round attack: %d encryptions, %v wall time\n", out.Encryptions, time.Since(start).Round(time.Millisecond))
 			fmt.Printf("recovered rk1:   U=%04x V=%04x (%s)\n", rk.U, rk.V, status)
 		} else {
+			if *jsonOut {
+				emitJSON(record)
+				return
+			}
+			fmt.Printf("first-round attack: %d encryptions, %v wall time\n", out.Encryptions, time.Since(start).Round(time.Millisecond))
 			fmt.Printf("recovered rk1 with per-segment candidates (wide lines): %v\n", out.Cands)
 		}
 		return
 	}
 
 	res, err := attacker.RecoverKey()
+	record.DurationNS = time.Since(start).Nanoseconds()
 	if err != nil {
+		if *jsonOut {
+			record.Encryptions = attacker.Encryptions()
+			record.DroppedOut = true
+			emitJSON(record)
+			os.Exit(1)
+		}
 		fatalf("attack failed after %d encryptions: %v", attacker.Encryptions(), err)
+	}
+	record.Encryptions = res.Encryptions
+	record.Correct = res.Key == key
+	if *jsonOut {
+		emitJSON(record)
+		if !record.Correct {
+			os.Exit(1)
+		}
+		return
 	}
 	rb := res.Key.Bytes()
 	fmt.Printf("recovered key:   %x\n", rb)
@@ -128,6 +190,15 @@ func main() {
 		fmt.Println("result:          MISMATCH")
 		os.Exit(1)
 	}
+}
+
+// emitJSON prints one campaign-result record on stdout.
+func emitJSON(r campaign.Result) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(string(b))
 }
 
 func buildChannel(key bitutil.Word128, platform, primitive string, mhz uint64, probeRound int, flush bool, lineWords int, noiseSeed uint64) (probe.Channel, error) {

@@ -1,0 +1,357 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"grinch/internal/rng"
+)
+
+// toyExec is a deterministic executor: every field of the measurement
+// is a pure function of the job seed, with a little seed-dependent CPU
+// work so scheduling actually interleaves.
+func toyExec(job Job) (Measurement, error) {
+	r := rng.New(job.Seed)
+	n := 100 + r.Intn(1000)
+	acc := uint64(0)
+	for i := 0; i < n*50; i++ {
+		acc += r.Uint64() >> 60
+	}
+	return Measurement{Encryptions: uint64(n) + acc%2, DroppedOut: n > 1050, Correct: n%2 == 0}, nil
+}
+
+func testSpec() Spec {
+	return Spec{
+		Name:        "toy",
+		Kind:        "toy",
+		Seed:        2021,
+		Trials:      3,
+		Budget:      1000,
+		LineWords:   []int{1, 2},
+		Flush:       []bool{true, false},
+		ProbeRounds: []int{1, 2, 3},
+	}
+}
+
+func TestExpansion(t *testing.T) {
+	spec := testSpec()
+	jobs := spec.Jobs()
+	if len(jobs) != spec.NumJobs() || len(jobs) != 2*2*3*3 {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), 2*2*3*3)
+	}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Fatalf("job %d has index %d", i, j.Index)
+		}
+		if j.Seed != rng.Derive(spec.Seed, uint64(i)) {
+			t.Fatalf("job %d seed not derived from (campaign seed, index)", i)
+		}
+		if j.Budget != spec.Budget {
+			t.Fatalf("job %d lost the budget", i)
+		}
+	}
+	// Canonical nesting: trials innermost, then probe rounds.
+	if jobs[0].Point.Trial != 0 || jobs[1].Point.Trial != 1 || jobs[3].Point.Trial != 0 {
+		t.Fatalf("trials not innermost: %+v", jobs[:4])
+	}
+	if jobs[0].Point.ProbeRound != 1 || jobs[3].Point.ProbeRound != 2 {
+		t.Fatalf("probe rounds not second-innermost: %+v", jobs[:4])
+	}
+	// Expansion must be reproducible.
+	again := spec.Jobs()
+	if !reflect.DeepEqual(jobs, again) {
+		t.Fatal("expansion is not deterministic")
+	}
+}
+
+func TestSpecFingerprintDistinguishesGrids(t *testing.T) {
+	a, b := testSpec(), testSpec()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal specs disagree on fingerprint")
+	}
+	b.ProbeRounds = []int{1, 2}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different grids share a fingerprint")
+	}
+	// Trials=0 normalizes to 1, so the two spell the same campaign.
+	c := testSpec()
+	c.Trials = 0
+	d := testSpec()
+	d.Trials = 1
+	if c.Fingerprint() != d.Fingerprint() {
+		t.Fatal("normalized specs disagree on fingerprint")
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"kind":"toy","probe_round":[1]}`)); err == nil {
+		t.Fatal("misspelled axis accepted")
+	}
+	s, err := ParseSpec([]byte(`{"name":"x","kind":"toy","seed":7,"probe_rounds":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || len(s.ProbeRounds) != 2 {
+		t.Fatalf("parsed spec %+v", s)
+	}
+}
+
+// run executes the toy campaign and returns the collector results plus
+// the deterministic JSONL bytes.
+func runToy(t *testing.T, workers int, opts Options) ([]Result, []byte) {
+	t.Helper()
+	col := &Collector{}
+	var jsonl bytes.Buffer
+	opts.Workers = workers
+	opts.Sinks = append(opts.Sinks, col, &JSONLSink{W: &jsonl})
+	rep, err := Run(context.Background(), testSpec(), toyExec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != rep.Total {
+		t.Fatalf("delivered %d of %d", rep.Delivered, rep.Total)
+	}
+	return col.Results, jsonl.Bytes()
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	res1, out1 := runToy(t, 1, Options{})
+	res8, out8 := runToy(t, 8, Options{})
+	// Results must agree field-for-field once timing metadata is
+	// stripped — it is the only part execution order may touch.
+	strip := func(rs []Result) []Result {
+		out := append([]Result(nil), rs...)
+		for i := range out {
+			out[i].DurationNS = 0
+			out[i].Worker = 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(res1), strip(res8)) {
+		t.Fatal("results differ between -workers=1 and -workers=8")
+	}
+	if !bytes.Equal(out1, out8) {
+		t.Fatal("JSONL output not byte-identical between -workers=1 and -workers=8")
+	}
+}
+
+func TestPanicBecomesFailedResult(t *testing.T) {
+	exec := func(job Job) (Measurement, error) {
+		if job.Index == 7 {
+			panic("injected")
+		}
+		if job.Index == 9 {
+			return Measurement{}, fmt.Errorf("injected error")
+		}
+		return toyExec(job)
+	}
+	col := &Collector{}
+	rep, err := Run(context.Background(), testSpec(), exec, Options{Workers: 4, Sinks: []Sink{col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 2 {
+		t.Fatalf("reported %d failures, want 2", rep.Failed)
+	}
+	if r := col.Results[7]; !r.Failed || !strings.Contains(r.Err, "panic: injected") {
+		t.Fatalf("job 7: %+v", r)
+	}
+	if r := col.Results[9]; !r.Failed || r.Err != "injected error" {
+		t.Fatalf("job 9: %+v", r)
+	}
+	if col.Results[8].Failed {
+		t.Fatal("healthy neighbor job marked failed")
+	}
+}
+
+func TestJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "toy.journal")
+	spec := testSpec()
+	total := spec.NumJobs()
+
+	// Invocation log: which job indices actually executed, per run.
+	var mu sync.Mutex
+	executed := map[int]int{}
+	exec := func(job Job) (Measurement, error) {
+		mu.Lock()
+		executed[job.Index]++
+		mu.Unlock()
+		return toyExec(job)
+	}
+
+	// First run: cancel once a third of the grid has completed.
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{
+		Workers: 4,
+		Journal: journal,
+		Progress: func(done, _ int) {
+			if done >= total/3 {
+				cancel()
+			}
+		},
+	}
+	rep, err := Run(ctx, spec, exec, opts)
+	if err != context.Canceled {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if rep.Executed == 0 || rep.Executed == total {
+		t.Fatalf("interruption executed %d of %d jobs", rep.Executed, total)
+	}
+	firstRun := rep.Executed
+
+	// Second run: must execute exactly the remainder, no job twice.
+	col := &Collector{}
+	var jsonl bytes.Buffer
+	rep2, err := Run(context.Background(), spec, exec,
+		Options{Workers: 4, Journal: journal, Sinks: []Sink{col, &JSONLSink{W: &jsonl}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Skipped != firstRun {
+		t.Fatalf("resume skipped %d jobs, journal held %d", rep2.Skipped, firstRun)
+	}
+	if rep2.Executed != total-firstRun {
+		t.Fatalf("resume executed %d jobs, want %d", rep2.Executed, total-firstRun)
+	}
+	mu.Lock()
+	for idx, n := range executed {
+		if n != 1 {
+			t.Fatalf("job %d executed %d times across interrupt+resume", idx, n)
+		}
+	}
+	if len(executed) != total {
+		t.Fatalf("only %d of %d jobs ever executed", len(executed), total)
+	}
+	mu.Unlock()
+
+	// The resumed campaign's sink output must match a clean run's.
+	_, cleanJSONL := runToy(t, 4, Options{})
+	if !bytes.Equal(jsonl.Bytes(), cleanJSONL) {
+		t.Fatal("resumed JSONL differs from a clean run")
+	}
+}
+
+func TestJournalRejectsForeignSpec(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "toy.journal")
+	if _, err := Run(context.Background(), testSpec(), toyExec, Options{Workers: 2, Journal: journal}); err != nil {
+		t.Fatal(err)
+	}
+	other := testSpec()
+	other.Seed = 9999
+	if _, err := Run(context.Background(), other, toyExec, Options{Workers: 2, Journal: journal}); err == nil {
+		t.Fatal("journal accepted a different campaign")
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "toy.journal")
+	if _, err := Run(context.Background(), testSpec(), toyExec, Options{Workers: 2, Journal: journal}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a hard kill mid-append: truncate the last record.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ran []int
+	var mu sync.Mutex
+	exec := func(job Job) (Measurement, error) {
+		mu.Lock()
+		ran = append(ran, job.Index)
+		mu.Unlock()
+		return toyExec(job)
+	}
+	rep, err := Run(context.Background(), testSpec(), exec, Options{Workers: 2, Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the torn job re-ran.
+	if rep.Executed != 1 || len(ran) != 1 {
+		t.Fatalf("torn journal re-ran %d jobs (%v), want 1", rep.Executed, ran)
+	}
+}
+
+func TestAggregatorGroupsCells(t *testing.T) {
+	agg := &Aggregator{}
+	_, err := Run(context.Background(), testSpec(), toyExec,
+		Options{Workers: 4, Sinks: []Sink{agg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := agg.Cells()
+	if len(cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(cells))
+	}
+	for _, c := range cells {
+		if len(c.Trials) != 3 {
+			t.Fatalf("cell %s has %d trials, want 3", c.Point, len(c.Trials))
+		}
+		if c.Point.Trial != 0 {
+			t.Fatalf("cell point retains a trial index: %+v", c.Point)
+		}
+		if s := c.Summary(); s.N != 3 || s.Median == 0 {
+			t.Fatalf("cell summary %+v", s)
+		}
+	}
+}
+
+func TestCSVSinkShape(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Run(context.Background(), testSpec(), toyExec,
+		Options{Workers: 2, Sinks: []Sink{&CSVSink{W: &buf}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+testSpec().NumJobs() {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "job,kind,platform") {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if n := strings.Count(l, ","); n != len(csvHeader)-1 {
+			t.Fatalf("CSV row has %d fields: %q", n+1, l)
+		}
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	_, err := Run(context.Background(), testSpec(), toyExec,
+		Options{Workers: 4, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	total := uint64(testSpec().NumJobs())
+	if snap.JobsTotal != total || snap.JobsDone != total {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.QueueDepth != 0 || snap.InFlight != 0 {
+		t.Fatalf("counters not drained: %+v", snap)
+	}
+	if snap.Encryptions == 0 || snap.JobMSMax < snap.JobMSMean {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	// expvar.Var-style rendering.
+	if s := m.String(); !strings.Contains(s, `"jobs_done":36`) {
+		t.Fatalf("metrics JSON %s", s)
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{Name: "nokind"}, toyExec, Options{}); err == nil {
+		t.Fatal("kindless spec accepted")
+	}
+}

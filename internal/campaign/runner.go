@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configure one campaign run.
+type Options struct {
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Sinks receive every result in job-index order. Run calls Begin
+	// and Close on them.
+	Sinks []Sink
+	// Journal is the checkpoint file path; empty disables journaling.
+	// If the file already exists for the same spec, its completed jobs
+	// are replayed into the sinks and skipped.
+	Journal string
+	// Metrics receives live counters; nil allocates a private set.
+	Metrics *Metrics
+	// Progress, if set, is called after every completed or replayed
+	// job with (jobs accounted for, grid size). Calls are serialized.
+	Progress func(done, total int)
+}
+
+// Report summarizes a finished (or interrupted) run.
+type Report struct {
+	Spec Spec
+	// Total is the grid size; Skipped were replayed from the journal;
+	// Executed ran this time (Failed of them unsuccessfully).
+	Total, Skipped, Executed, Failed int
+	// Delivered is how many results reached the sinks — the full grid
+	// on a completed run, an index-prefix on an interrupted one.
+	Delivered int
+	// Encryptions consumed by the jobs executed this run.
+	Encryptions uint64
+	Elapsed     time.Duration
+}
+
+// Run expands spec into jobs, executes them on a bounded worker pool,
+// and streams the results to the sinks in job-index order.
+//
+// Determinism: each job's seed is derived from (spec.Seed, job index),
+// so the result of every job — and, because delivery is reordered to
+// index order, the byte output of every deterministic sink — is
+// identical for any worker count and any scheduling.
+//
+// Cancellation: when ctx is cancelled, dispatch stops, in-flight jobs
+// drain, the journal is flushed, and Run returns the partial report
+// with ctx's error. A later Run with the same spec and journal resumes
+// where this one stopped.
+//
+// Panics inside the executor are recovered and recorded as failed
+// results; they do not kill the run.
+func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, error) {
+	start := time.Now()
+	if err := spec.Validate(); err != nil {
+		return Report{}, err
+	}
+	spec = spec.normalized()
+	jobs := spec.Jobs()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+
+	// Resume: load completed jobs from the journal, if any.
+	var journal *Journal
+	prior := map[int]Result{}
+	if opts.Journal != "" {
+		var err error
+		journal, prior, err = OpenJournal(opts.Journal, spec)
+		if err != nil {
+			return Report{}, err
+		}
+		defer journal.Close()
+	}
+	pending := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		if _, done := prior[j.Index]; !done {
+			pending = append(pending, j)
+		}
+	}
+	metrics.begin(len(jobs), len(prior))
+
+	sinks := multiSink(opts.Sinks)
+	if err := sinks.Begin(spec, len(jobs)); err != nil {
+		return Report{}, err
+	}
+
+	jobCh := make(chan Job)
+	resCh := make(chan Result)
+
+	// Dispatcher: feeds pending jobs until done or cancelled.
+	go func() {
+		defer close(jobCh)
+		for _, j := range pending {
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				metrics.drainQueue()
+				return
+			}
+		}
+	}()
+
+	// Workers: execute jobs, recovering per-job panics.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for job := range jobCh {
+				metrics.jobStarted()
+				resCh <- runJob(job, exec, id)
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Collector: journal in completion order, deliver to sinks in
+	// job-index order via a reorder buffer pre-seeded with the
+	// journal-replayed results (deliver consumes the stash, so count
+	// the resumed jobs first).
+	skipped := len(prior)
+	stash := prior
+	next := 0
+	var sinkErr error
+	deliver := func() {
+		for sinkErr == nil {
+			r, ok := stash[next]
+			if !ok {
+				return
+			}
+			delete(stash, next)
+			if err := sinks.Write(r); err != nil {
+				sinkErr = fmt.Errorf("campaign: sink write: %w", err)
+				return
+			}
+			next++
+		}
+	}
+	progress := func(done int) {
+		if opts.Progress != nil {
+			opts.Progress(done, len(jobs))
+		}
+	}
+	progress(skipped)
+	deliver()
+
+	rep := Report{Spec: spec, Total: len(jobs), Skipped: skipped}
+	var journalErr error
+	for res := range resCh {
+		metrics.jobFinished(res)
+		rep.Executed++
+		if res.Failed {
+			rep.Failed++
+		}
+		rep.Encryptions += res.Encryptions
+		if journal != nil {
+			if err := journal.Append(res); err != nil && journalErr == nil {
+				journalErr = err
+			}
+		}
+		stash[res.Job] = res
+		deliver()
+		progress(rep.Skipped + rep.Executed)
+	}
+
+	rep.Delivered = next
+	rep.Elapsed = time.Since(start)
+	closeErr := sinks.Close()
+
+	switch {
+	case ctx.Err() != nil:
+		return rep, ctx.Err()
+	case sinkErr != nil:
+		return rep, sinkErr
+	case journalErr != nil:
+		return rep, journalErr
+	case closeErr != nil:
+		return rep, closeErr
+	}
+	return rep, nil
+}
+
+// runJob executes one job, converting errors and panics into failed
+// results and stamping the execution metadata.
+func runJob(job Job, exec Executor, worker int) (res Result) {
+	start := time.Now()
+	res = Result{Job: job.Index, Point: job.Point, Seed: job.Seed, Worker: worker}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Failed = true
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+		res.DurationNS = time.Since(start).Nanoseconds()
+	}()
+	m, err := exec(job)
+	if err != nil {
+		res.Failed = true
+		res.Err = err.Error()
+		return res
+	}
+	res.Measurement = m
+	return res
+}

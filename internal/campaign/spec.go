@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// Spec declares a campaign: an experiment kind, a reproducibility seed,
+// a per-cell trial count, and the swept parameter axes. The grid is the
+// cross product of the non-empty axes; empty axes are not swept and
+// contribute a single zero value. Specs serialize to JSON for
+// cmd/campaign input files and journal fingerprinting.
+type Spec struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Seed   uint64 `json:"seed"`
+	Trials int    `json:"trials,omitempty"`
+	Budget uint64 `json:"budget,omitempty"`
+
+	Platforms   []string `json:"platforms,omitempty"`
+	MHz         []uint64 `json:"mhz,omitempty"`
+	LineWords   []int    `json:"line_words,omitempty"`
+	Flush       []bool   `json:"flush,omitempty"`
+	ProbeRounds []int    `json:"probe_rounds,omitempty"`
+}
+
+// Validate rejects specs the runner cannot expand meaningfully.
+func (s Spec) Validate() error {
+	if s.Kind == "" {
+		return fmt.Errorf("campaign: spec %q has no kind", s.Name)
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("campaign: spec %q has negative trials", s.Name)
+	}
+	return nil
+}
+
+// normalized fills defaults: at least one trial per cell.
+func (s Spec) normalized() Spec {
+	if s.Trials == 0 {
+		s.Trials = 1
+	}
+	return s
+}
+
+// NumJobs returns the size of the expanded grid.
+func (s Spec) NumJobs() int {
+	s = s.normalized()
+	return axisLen(len(s.Platforms)) * axisLen(len(s.MHz)) *
+		axisLen(len(s.LineWords)) * axisLen(len(s.Flush)) *
+		axisLen(len(s.ProbeRounds)) * s.Trials
+}
+
+func axisLen(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// Jobs expands the spec into its job list in canonical order: platforms
+// outermost, then clocks, line sizes, flush, probe rounds, and trials
+// innermost. The order — and therefore every job's Index and Seed — is
+// a pure function of the spec, which is what makes journals reusable
+// and results independent of scheduling.
+func (s Spec) Jobs() []Job {
+	s = s.normalized()
+	platforms := s.Platforms
+	if len(platforms) == 0 {
+		platforms = []string{""}
+	}
+	mhz := s.MHz
+	if len(mhz) == 0 {
+		mhz = []uint64{0}
+	}
+	lineWords := s.LineWords
+	if len(lineWords) == 0 {
+		lineWords = []int{0}
+	}
+	flush := s.Flush
+	if len(flush) == 0 {
+		flush = []bool{false}
+	}
+	probeRounds := s.ProbeRounds
+	if len(probeRounds) == 0 {
+		probeRounds = []int{0}
+	}
+
+	jobs := make([]Job, 0, s.NumJobs())
+	idx := 0
+	for _, pl := range platforms {
+		for _, f := range mhz {
+			for _, lw := range lineWords {
+				for _, fl := range flush {
+					for _, pr := range probeRounds {
+						for t := 0; t < s.Trials; t++ {
+							jobs = append(jobs, Job{
+								Index: idx,
+								Point: Point{
+									Kind:       s.Kind,
+									Platform:   pl,
+									MHz:        f,
+									LineWords:  lw,
+									Flush:      fl,
+									ProbeRound: pr,
+									Trial:      t,
+								},
+								Seed:   DeriveSeed(s.Seed, idx),
+								Budget: s.Budget,
+							})
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// Fingerprint returns a short stable hash of the spec's canonical JSON.
+// The journal stores it so a resume against a journal written for a
+// different campaign fails loudly instead of silently skipping the
+// wrong jobs.
+func (s Spec) Fingerprint() string {
+	b, err := json.Marshal(s.normalized())
+	if err != nil {
+		// Spec is a plain data struct; Marshal cannot fail on it.
+		panic(err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ParseSpec decodes a JSON spec, rejecting unknown fields so a typo in
+// an axis name ("probe_round" for "probe_rounds") cannot silently
+// collapse a sweep to a single cell.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

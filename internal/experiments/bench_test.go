@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchOpts is a small Table I grid (2 line sizes × 3 probe rounds ×
+// 2 trials = 12 jobs) that finishes in seconds but still has enough
+// cells to show pool scaling. The campaign determinism contract means
+// every worker count below computes the identical table.
+func benchOpts(workers int) Options {
+	return Options{Trials: 2, Budget: 100_000, Seed: 2021, Workers: workers}
+}
+
+// BenchmarkTable1Campaign compares serial against pooled execution of
+// the same Table I grid through the campaign orchestrator. The recorded
+// speedup lives in EXPERIMENTS.md ("Campaign orchestrator").
+func BenchmarkTable1Campaign(b *testing.B) {
+	lineWords := []int{1, 2}
+	probeRounds := []int{1, 2, 3}
+	// Fixed worker counts rather than GOMAXPROCS so the comparison is
+	// stable across machines; on a single-core host the pooled run
+	// measures pure orchestration overhead instead of speedup.
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows := Table1(benchOpts(workers), lineWords, probeRounds)
+				if len(rows) != len(lineWords) {
+					b.Fatalf("got %d rows", len(rows))
+				}
+			}
+		})
+	}
+}

@@ -24,7 +24,6 @@ import (
 	"grinch/internal/gift"
 	"grinch/internal/oracle"
 	"grinch/internal/rng"
-	"grinch/internal/soc"
 	"grinch/internal/stats"
 )
 
@@ -38,6 +37,11 @@ type Options struct {
 	Budget uint64
 	// Seed makes the whole run reproducible.
 	Seed uint64
+	// Workers bounds the campaign worker pool the swept experiments
+	// (Fig3, Table1, Table2, FullRecovery) run on; 0 means GOMAXPROCS.
+	// Results are identical for every value — each grid cell's RNG is
+	// derived from (Seed, job index), never from execution order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -113,28 +117,6 @@ func firstRoundEffort(key bitutil.Word128, ocfg oracle.Config, budget, seed uint
 	return out.Encryptions, true
 }
 
-// runCell runs Trials independent first-round attacks for one channel
-// configuration.
-func runCell(opt Options, ocfg oracle.Config, salt uint64) Cell {
-	r := rng.New(opt.Seed ^ salt)
-	var cell Cell
-	for i := 0; i < opt.Trials; i++ {
-		key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
-		cfg := ocfg
-		cfg.Seed = r.Uint64()
-		n, ok := firstRoundEffort(key, cfg, opt.Budget, r.Uint64())
-		if !ok {
-			cell.DroppedOut = true
-			n = opt.Budget
-		}
-		cell.Trials = append(cell.Trials, n)
-	}
-	if !cell.DroppedOut {
-		cell.Median = cell.Summary().Median
-	}
-	return cell
-}
-
 // Fig3Row is one x-axis position of paper Fig. 3.
 type Fig3Row struct {
 	ProbeRound   int
@@ -144,19 +126,14 @@ type Fig3Row struct {
 
 // Fig3 regenerates paper Fig. 3: first-round attack effort vs. probing
 // round, with and without flush, at the paper's default 1-word line.
+// The grid runs as a campaign on opt.Workers workers.
 func Fig3(opt Options, probeRounds []int) []Fig3Row {
 	opt = opt.withDefaults()
 	if len(probeRounds) == 0 {
 		probeRounds = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	}
-	rows := make([]Fig3Row, 0, len(probeRounds))
-	for _, pr := range probeRounds {
-		row := Fig3Row{ProbeRound: pr}
-		row.WithFlush = runCell(opt, oracle.Config{ProbeRound: pr, Flush: true, LineWords: 1}, uint64(pr)<<8|1)
-		row.WithoutFlush = runCell(opt, oracle.Config{ProbeRound: pr, Flush: false, LineWords: 1}, uint64(pr)<<8|2)
-		rows = append(rows, row)
-	}
-	return rows
+	results := runCampaign(Fig3Spec(opt, probeRounds), opt.Workers)
+	return Fig3FromResults(opt, probeRounds, results)
 }
 
 // Table1Row is one line-size row of paper Table I.
@@ -169,7 +146,8 @@ type Table1Row struct {
 
 // Table1 regenerates paper Table I: first-round attack effort across
 // cache line sizes and probing rounds (flush enabled, as in the
-// paper's best case).
+// paper's best case). The grid runs as a campaign on opt.Workers
+// workers.
 func Table1(opt Options, lineWords, probeRounds []int) []Table1Row {
 	opt = opt.withDefaults()
 	if len(lineWords) == 0 {
@@ -178,17 +156,8 @@ func Table1(opt Options, lineWords, probeRounds []int) []Table1Row {
 	if len(probeRounds) == 0 {
 		probeRounds = []int{1, 2, 3, 4, 5}
 	}
-	rows := make([]Table1Row, 0, len(lineWords))
-	for _, lw := range lineWords {
-		row := Table1Row{LineWords: lw}
-		for _, pr := range probeRounds {
-			row.Cells = append(row.Cells,
-				runCell(opt, oracle.Config{ProbeRound: pr, Flush: true, LineWords: lw},
-					uint64(lw)<<16|uint64(pr)<<8|3))
-		}
-		rows = append(rows, row)
-	}
-	return rows
+	results := runCampaign(Table1Spec(opt, lineWords, probeRounds), opt.Workers)
+	return Table1FromResults(opt, lineWords, probeRounds, results)
 }
 
 // Table2Row is one platform row of paper Table II.
@@ -200,20 +169,15 @@ type Table2Row struct {
 }
 
 // Table2 regenerates paper Table II by running the full platform
-// simulations.
-func Table2(seed uint64, freqs []uint64) []Table2Row {
+// simulations as a campaign on opt.Workers workers, opt.Trials fresh
+// keys per cell.
+func Table2(opt Options, freqs []uint64) []Table2Row {
+	opt = opt.withDefaults()
 	if len(freqs) == 0 {
 		freqs = []uint64{10, 25, 50}
 	}
-	r := rng.New(seed)
-	key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
-	single := Table2Row{Platform: "Single-processing SoC", EarliestRound: map[uint64]int{}}
-	multi := Table2Row{Platform: "Multi-processing SoC", EarliestRound: map[uint64]int{}}
-	for _, f := range freqs {
-		single.EarliestRound[f] = soc.NewSingleSoC(key, soc.DefaultParams(f)).EarliestProbeRound()
-		multi.EarliestRound[f] = soc.NewMPSoC(key, soc.DefaultParams(f)).EarliestProbeRound()
-	}
-	return []Table2Row{single, multi}
+	results := runCampaign(Table2Spec(opt, freqs), opt.Workers)
+	return Table2FromResults(freqs, results)
 }
 
 // RecoveryResult is the headline full-key experiment.
@@ -224,33 +188,11 @@ type RecoveryResult struct {
 }
 
 // FullRecovery measures complete 128-bit key recovery under the paper's
-// best probing conditions (probe round 1, flush, 1-word lines).
+// best probing conditions (probe round 1, flush, 1-word lines), one
+// campaign job per trial.
 func FullRecovery(opt Options) RecoveryResult {
 	opt = opt.withDefaults()
-	r := rng.New(opt.Seed ^ 0xf00d)
-	var res RecoveryResult
-	var efforts []uint64
-	res.AllCorrect = true
-	for i := 0; i < opt.Trials; i++ {
-		key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
-		ch, err := oracle.New(key, oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1, Seed: r.Uint64()})
-		if err != nil {
-			panic(err)
-		}
-		a, err := core.NewAttacker(ch, core.Config{Seed: r.Uint64(), TotalBudget: opt.Budget})
-		if err != nil {
-			panic(err)
-		}
-		out, err := a.RecoverKey()
-		if err != nil || out.Key != key {
-			res.AllCorrect = false
-			res.Failures++
-			continue
-		}
-		efforts = append(efforts, out.Encryptions)
-	}
-	res.Encryptions = stats.SummarizeUint64(efforts)
-	return res
+	return RecoveryFromResults(runCampaign(RecoverySpec(opt), opt.Workers))
 }
 
 // CounterResult reports the countermeasure demonstrations.

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"grinch/internal/campaign"
 )
 
 // Small options keep the test suite quick; the full-scale runs live in
@@ -71,7 +74,7 @@ func TestTable1DropOut(t *testing.T) {
 }
 
 func TestTable2MatchesPaper(t *testing.T) {
-	rows := Table2(1, nil)
+	rows := Table2(Options{Trials: 1, Seed: 1}, nil)
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -127,7 +130,7 @@ func TestRenderers(t *testing.T) {
 		t.Errorf("Table1CSV malformed:\n%s", s)
 	}
 
-	t2 := Table2(1, nil)
+	t2 := Table2(Options{Trials: 1, Seed: 1}, nil)
 	if s := RenderTable2(t2); !strings.Contains(s, "Single-processing SoC") {
 		t.Errorf("RenderTable2 malformed:\n%s", s)
 	}
@@ -163,5 +166,56 @@ func TestDeterminism(t *testing.T) {
 	b := Fig3(quickOpts(), []int{1})
 	if a[0].WithFlush.Median != b[0].WithFlush.Median {
 		t.Fatal("Fig3 not deterministic under fixed seed")
+	}
+}
+
+// TestWorkerCountInvariance is the campaign determinism contract at the
+// experiment level: the same spec and seed must produce identical
+// tables no matter how many workers execute the grid.
+func TestWorkerCountInvariance(t *testing.T) {
+	serial := quickOpts()
+	serial.Workers = 1
+	pooled := quickOpts()
+	pooled.Workers = 8
+
+	f1 := Fig3(serial, []int{1, 2})
+	f8 := Fig3(pooled, []int{1, 2})
+	if !reflect.DeepEqual(f1, f8) {
+		t.Errorf("Fig3 differs between 1 and 8 workers:\n%+v\n%+v", f1, f8)
+	}
+
+	t1 := Table1(serial, []int{1, 2}, []int{1, 2})
+	t8 := Table1(pooled, []int{1, 2}, []int{1, 2})
+	if !reflect.DeepEqual(t1, t8) {
+		t.Errorf("Table1 differs between 1 and 8 workers:\n%+v\n%+v", t1, t8)
+	}
+
+	r1 := FullRecovery(Options{Trials: 2, Budget: 10_000, Seed: 5, Workers: 1})
+	r8 := FullRecovery(Options{Trials: 2, Budget: 10_000, Seed: 5, Workers: 8})
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("FullRecovery differs between 1 and 8 workers:\n%+v\n%+v", r1, r8)
+	}
+}
+
+// TestSpecByName covers the cmd/campaign presets.
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"fig3", "table1", "table2", "recovery"} {
+		spec, err := SpecByName(name, quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Name != name || spec.NumJobs() == 0 {
+			t.Errorf("preset %s expands to %+v", name, spec)
+		}
+	}
+	if _, err := SpecByName("nope", quickOpts()); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+// TestExecuteRejectsUnknownKind keeps the executor's dispatch honest.
+func TestExecuteRejectsUnknownKind(t *testing.T) {
+	if _, err := Execute(campaign.Job{Point: campaign.Point{Kind: "nope"}}); err == nil {
+		t.Error("unknown kind accepted")
 	}
 }

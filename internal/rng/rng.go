@@ -129,3 +129,16 @@ func (r *Source) Perm(n int) []int {
 func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
+
+// Derive maps a (root seed, index) pair to an independent member seed by
+// running one SplitMix64 step over their combination. Unlike Split, the
+// derivation is random-access: member i's seed does not depend on having
+// drawn members 0..i-1, so a swept experiment can hand every grid cell
+// its own generator in any order — or in parallel — and still reproduce
+// the exact per-cell streams of a serial run.
+func Derive(seed, index uint64) uint64 {
+	z := seed + (index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

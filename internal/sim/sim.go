@@ -15,6 +15,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Time is virtual time in picoseconds.
@@ -215,7 +216,9 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	parked chan struct{}
-	dead   bool
+	// dead is atomic: a process marks itself dead on its own goroutine
+	// while the kernel may concurrently kill() it during shutdown.
+	dead   atomic.Bool
 	killed chan struct{}
 }
 
@@ -236,7 +239,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 				if r := recover(); r != nil && r != errKilled {
 					panic(r)
 				}
-				p.dead = true
+				p.dead.Store(true)
 				select {
 				case p.parked <- struct{}{}:
 				case <-p.killed:
@@ -253,7 +256,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 // dispatch hands control to the process and waits for it to park or die.
 // Runs on the kernel's goroutine.
 func (p *Proc) dispatch() {
-	if p.dead {
+	if p.dead.Load() {
 		return
 	}
 	p.resume <- struct{}{}
@@ -273,11 +276,10 @@ func (p *Proc) park() {
 
 // kill terminates a parked process goroutine.
 func (p *Proc) kill() {
-	if p.dead {
+	if p.dead.Swap(true) {
 		return
 	}
 	close(p.killed)
-	p.dead = true
 }
 
 // Name returns the process name (for traces).
