@@ -2,12 +2,21 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench quick
+.PHONY: check vet lint baseline build test race bench quick
 
-check: vet build race
+check: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+# grinchvet: the repo's own static analyzer (secret-dependent accesses,
+# determinism). Fails on any finding not in grinchvet.baseline.
+lint:
+	$(GO) run ./cmd/grinchvet ./...
+
+# Accept the current finding set as the new baseline (review the diff!).
+baseline:
+	$(GO) run ./cmd/grinchvet -write-baseline ./...
 
 build:
 	$(GO) build ./...

@@ -121,10 +121,10 @@ func main() {
 			*platform, *probeRound, !*noFlush, *lineWords, ch.Lines())
 	}
 
-	start := time.Now()
+	start := time.Now() //grinchvet:ignore wallclock CLI wall-time reporting only
 	if *firstOnly {
 		out, err := attacker.AttackRound(1, nil, nil)
-		record.DurationNS = time.Since(start).Nanoseconds()
+		record.DurationNS = time.Since(start).Nanoseconds() //grinchvet:ignore wallclock CLI wall-time reporting only
 		if err != nil {
 			if *jsonOut {
 				record.Encryptions = attacker.Encryptions()
@@ -143,9 +143,11 @@ func main() {
 				return
 			}
 			status := "MATCH"
+			//grinchvet:ignore secret-branch ground-truth verification of the recovered key
 			if !record.Correct {
 				status = "MISMATCH"
 			}
+			//grinchvet:ignore wallclock CLI wall-time reporting only
 			fmt.Printf("first-round attack: %d encryptions, %v wall time\n", out.Encryptions, time.Since(start).Round(time.Millisecond))
 			fmt.Printf("recovered rk1:   U=%04x V=%04x (%s)\n", rk.U, rk.V, status)
 		} else {
@@ -153,6 +155,7 @@ func main() {
 				emitJSON(record)
 				return
 			}
+			//grinchvet:ignore wallclock CLI wall-time reporting only
 			fmt.Printf("first-round attack: %d encryptions, %v wall time\n", out.Encryptions, time.Since(start).Round(time.Millisecond))
 			fmt.Printf("recovered rk1 with per-segment candidates (wide lines): %v\n", out.Cands)
 		}
@@ -160,7 +163,7 @@ func main() {
 	}
 
 	res, err := attacker.RecoverKey()
-	record.DurationNS = time.Since(start).Nanoseconds()
+	record.DurationNS = time.Since(start).Nanoseconds() //grinchvet:ignore wallclock CLI wall-time reporting only
 	if err != nil {
 		if *jsonOut {
 			record.Encryptions = attacker.Encryptions()
@@ -174,6 +177,7 @@ func main() {
 	record.Correct = res.Key == key
 	if *jsonOut {
 		emitJSON(record)
+		//grinchvet:ignore secret-branch ground-truth verification of the recovered key
 		if !record.Correct {
 			os.Exit(1)
 		}
@@ -183,6 +187,7 @@ func main() {
 	fmt.Printf("recovered key:   %x\n", rb)
 	fmt.Printf("encryptions:     %d (paper: <400 under ideal conditions)\n", res.Encryptions)
 	fmt.Printf("round passes:    %d\n", res.RoundsAttacked)
+	//grinchvet:ignore wallclock CLI wall-time reporting only
 	fmt.Printf("wall time:       %v\n", time.Since(start).Round(time.Millisecond))
 	if res.Key == key {
 		fmt.Println("result:          FULL KEY RECOVERED")

@@ -1,0 +1,148 @@
+// Command grinchvet is the repository's static analyzer: it proves
+// which cipher implementations perform secret-dependent memory accesses
+// (the property the GRINCH attack exploits) and polices the
+// determinism contract of the campaign/simulation core.
+//
+// Usage:
+//
+//	grinchvet [flags] [patterns]
+//
+//	go run ./cmd/grinchvet ./...            # whole module, text output
+//	go run ./cmd/grinchvet -json ./...      # machine-readable findings
+//	go run ./cmd/grinchvet ./internal/gift  # one package
+//	go run ./cmd/grinchvet -write-baseline ./...   # accept current findings
+//
+// Exit status: 0 when every finding is covered by the baseline (or
+// there are none), 1 when new findings exist, 2 on load/usage errors.
+//
+// The analyzer is stdlib-only (go/parser + go/types); it loads the
+// module itself and never shells out to the go tool, so it runs
+// identically in CI and offline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"grinch/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut       = flag.Bool("json", false, "emit findings as a JSON array")
+		baselinePath  = flag.String("baseline", "", "baseline file gating the exit status (default: grinchvet.baseline at the module root, if present)")
+		writeBaseline = flag.Bool("write-baseline", false, "write the current findings to the baseline file and exit 0")
+		rules         = flag.String("rules", "", "comma-separated rule filter (default: all rules)")
+		detPkgs       = flag.String("det", strings.Join(analysis.DefaultDeterministicPkgs(), ","), "comma-separated module-relative package trees bound by determinism rules")
+		verbose       = flag.Bool("v", false, "list analyzed packages and baseline statistics")
+	)
+	flag.Parse()
+
+	world, err := analysis.LoadModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grinchvet:", err)
+		return 2
+	}
+	pkgs := world.Match(flag.Args())
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "grinchvet: no packages match", flag.Args())
+		return 2
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintln(os.Stderr, "analyzing", p.Path)
+		}
+	}
+
+	cfg := analysis.Config{DeterministicPkgs: splitList(*detPkgs)}
+	if *rules != "" {
+		cfg.Rules = splitList(*rules)
+	}
+	findings := analysis.Analyze(world, pkgs, cfg)
+
+	// Resolve the baseline: explicit flag wins; otherwise the module
+	// default applies when the file exists.
+	bpath := *baselinePath
+	if bpath == "" {
+		def := filepath.Join(world.Root, "grinchvet.baseline")
+		if _, err := os.Stat(def); err == nil {
+			bpath = def
+		}
+	}
+
+	if *writeBaseline {
+		if bpath == "" {
+			bpath = filepath.Join(world.Root, "grinchvet.baseline")
+		}
+		if err := analysis.WriteBaseline(bpath, world.Root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "grinchvet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "grinchvet: wrote %d finding(s) to %s\n", len(findings), bpath)
+		return 0
+	}
+
+	fresh := findings
+	var stale []string
+	if bpath != "" {
+		base, err := analysis.ReadBaseline(bpath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grinchvet:", err)
+			return 2
+		}
+		fresh, stale = analysis.Diff(findings, base, world.Root)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "grinchvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Println(f.String())
+		}
+	}
+
+	// Stale entries are only meaningful when the whole module was
+	// analyzed; a package subset legitimately misses the other
+	// packages' baselined findings.
+	if len(pkgs) == len(world.Pkgs) {
+		for _, s := range stale {
+			fmt.Fprintf(os.Stderr, "grinchvet: stale baseline entry (no longer produced): %s\n", strings.ReplaceAll(s, "\t", " | "))
+		}
+	} else {
+		stale = nil
+	}
+	if *verbose || len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "grinchvet: %d finding(s), %d new, %d baselined, %d stale\n",
+			len(findings), len(fresh), len(findings)-len(fresh), len(stale))
+	}
+	if len(fresh) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -58,6 +58,7 @@ func main() {
 	fmt.Printf("  encryptions observed: %d\n", out.Encryptions)
 	fmt.Printf("  recovered round key:  U=%04x V=%04x\n", rk.U, rk.V)
 	fmt.Printf("  actual round key:     U=%04x V=%04x\n", want.U, want.V)
+	//grinchvet:ignore secret-branch ground-truth verification of the recovered round key
 	if rk.U != want.U || rk.V != want.V {
 		log.Fatal("round-key mismatch")
 	}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The //grinch:secret annotation marks secret material for the leakage
+// pass. Grammar (one directive per comment line, no space before the
+// colon, like //go: directives):
+//
+//	//grinch:secret
+//	    on a struct field        — the field holds secret data
+//	    on a var declaration     — the variable holds secret data
+//	    in a func doc comment    — every parameter (and the receiver)
+//	                               is secret
+//	//grinch:secret p1, p2       — only the named parameters are secret
+//	//grinch:secret return       — the function's results are secret
+//	                               (key-derived output, e.g. a block
+//	                               cipher call under the secret key);
+//	                               may be combined with parameter names
+//
+// Anything reachable from an annotated value through assignments, bit
+// operations, field access and function calls is tainted; indexing an
+// array/slice/map with a tainted value or branching on one is a
+// finding. See leakage.go.
+const secretDirective = "grinch:secret"
+
+// secretTable is the module-wide annotation index, built once per World.
+type secretTable struct {
+	// objects holds annotated parameters, fields and variables.
+	objects map[types.Object]bool
+	// returns holds functions whose call results are secret.
+	returns map[types.Object]bool
+}
+
+func (st *secretTable) object(o types.Object) bool {
+	return o != nil && st.objects[o]
+}
+
+func (st *secretTable) secretReturn(o types.Object) bool {
+	return o != nil && st.returns[o]
+}
+
+// directiveArgs extracts the argument list of a //grinch:secret line in
+// the comment group, with ok=false when the group carries no directive.
+func directiveArgs(cg *ast.CommentGroup) (args []string, ok bool) {
+	if cg == nil {
+		return nil, false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if !strings.HasPrefix(text, secretDirective) {
+			continue
+		}
+		rest := strings.TrimPrefix(text, secretDirective)
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // e.g. grinch:secretive
+		}
+		for _, f := range strings.FieldsFunc(rest, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		}) {
+			args = append(args, f)
+		}
+		return args, true
+	}
+	return nil, false
+}
+
+// collectSecrets scans every package for //grinch:secret annotations
+// and resolves them to type-checker objects, so that uses in *other*
+// packages (exported fields, cross-package helpers) taint too.
+func collectSecrets(w *World) *secretTable {
+	st := &secretTable{
+		objects: map[types.Object]bool{},
+		returns: map[types.Object]bool{},
+	}
+	for _, pkg := range w.Pkgs {
+		for _, file := range pkg.Files {
+			collectFileSecrets(pkg, file, st)
+		}
+	}
+	return st
+}
+
+func collectFileSecrets(pkg *Package, file *ast.File, st *secretTable) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			args, ok := directiveArgs(d.Doc)
+			if !ok {
+				return true
+			}
+			fnObj := pkg.Info.Defs[d.Name]
+			wantReturn := false
+			named := map[string]bool{}
+			for _, a := range args {
+				if a == "return" {
+					wantReturn = true
+					continue
+				}
+				named[a] = true
+			}
+			if wantReturn {
+				st.returns[fnObj] = true
+			}
+			all := len(named) == 0 && !wantReturn
+			mark := func(fields *ast.FieldList) {
+				if fields == nil {
+					return
+				}
+				for _, f := range fields.List {
+					for _, name := range f.Names {
+						if all || named[name.Name] {
+							if o := pkg.Info.Defs[name]; o != nil {
+								st.objects[o] = true
+							}
+						}
+					}
+				}
+			}
+			mark(d.Type.Params)
+			mark(d.Recv)
+			return true
+
+		case *ast.StructType:
+			if d.Fields == nil {
+				return true
+			}
+			for _, f := range d.Fields.List {
+				_, ok := directiveArgs(f.Doc)
+				if !ok {
+					_, ok = directiveArgs(f.Comment)
+				}
+				if !ok {
+					continue
+				}
+				for _, name := range f.Names {
+					if o := pkg.Info.Defs[name]; o != nil {
+						st.objects[o] = true
+					}
+				}
+			}
+			return true
+
+		case *ast.GenDecl:
+			_, declOK := directiveArgs(d.Doc)
+			for _, spec := range d.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				_, specOK := directiveArgs(vs.Doc)
+				if !specOK {
+					_, specOK = directiveArgs(vs.Comment)
+				}
+				if !declOK && !specOK {
+					continue
+				}
+				for _, name := range vs.Names {
+					if o := pkg.Info.Defs[name]; o != nil {
+						st.objects[o] = true
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+}

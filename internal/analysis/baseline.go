@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The baseline is the committed ledger of accepted findings — in this
+// repository, the deliberately leaky table implementations that the
+// GRINCH attack needs to exist. grinchvet exits nonzero on any finding
+// *not* in the baseline, so a new leaky lookup or wall-clock dependency
+// fails the build while the known attack surface stays green.
+//
+// Format: one tab-separated record per line, sorted,
+//
+//	rule<TAB>file<TAB>func<TAB>detail
+//
+// deliberately *without* line numbers, so unrelated edits that shift
+// code do not invalidate the ledger. Identical records may repeat: the
+// comparison is a multiset match, so even adding a second lookup that
+// produces an identical key is caught.
+
+// BaselineKey is the stable identity of a finding.
+func BaselineKey(root string, f Finding) string {
+	file := f.File
+	if root != "" {
+		if rel, err := filepath.Rel(root, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return strings.Join([]string{f.Rule, file, f.Func, f.Detail}, "\t")
+}
+
+// ReadBaseline loads a baseline file into a key -> count multiset.
+func ReadBaseline(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBaseline(f)
+}
+
+func parseBaseline(r io.Reader) (map[string]int, error) {
+	set := map[string]int{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 3 {
+			return nil, fmt.Errorf("analysis: malformed baseline line %q (want rule\\tfile\\tfunc\\tdetail)", line)
+		}
+		set[line]++
+	}
+	return set, sc.Err()
+}
+
+// WriteBaseline writes the findings' keys as a sorted baseline file.
+func WriteBaseline(path, root string, findings []Finding) error {
+	keys := make([]string, 0, len(findings))
+	for _, f := range findings {
+		keys = append(keys, BaselineKey(root, f))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# grinchvet baseline — accepted findings, one per line:\n")
+	b.WriteString("# rule\tfile\tfunc\tdetail\n")
+	b.WriteString("# Regenerate with: go run ./cmd/grinchvet -write-baseline ./...\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// Diff splits findings into new (not covered by the baseline) and
+// returns the stale baseline entries (recorded but no longer produced).
+// Coverage is multiset-style: N identical keys in the baseline cover at
+// most N identical findings.
+func Diff(findings []Finding, baseline map[string]int, root string) (fresh []Finding, stale []string) {
+	remaining := make(map[string]int, len(baseline))
+	for k, n := range baseline {
+		remaining[k] = n
+	}
+	for _, f := range findings {
+		k := BaselineKey(root, f)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}

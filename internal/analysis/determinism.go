@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer returns the reproducibility pass. It only fires
+// inside the configured deterministic core (Config.DeterministicPkgs),
+// where campaign results must be a pure function of (spec, seed):
+//
+//	wallclock — calls to time.Now / time.Since / time.Until read the
+//	            wall clock; timing may be *measured* for metrics but
+//	            must never feed deterministic output (see the
+//	            //grinchvet:ignore wallclock waivers on the metrics
+//	            paths).
+//	mathrand  — importing math/rand, math/rand/v2 or crypto/rand:
+//	            all randomness must come from internal/rng, whose
+//	            sequence is pinned by this repo, not by the Go release.
+//	maporder  — ranging over a map: Go randomizes iteration order per
+//	            run, so any output or ordering derived from it is
+//	            nondeterministic. Sort the keys first (then waive the
+//	            collection loop) or iterate a slice.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "determinism",
+		Doc:   "forbid wall-clock, stdlib RNG and map-order dependence in the deterministic core",
+		Rules: []string{"wallclock", "mathrand", "maporder"},
+		Run:   runDeterminism,
+	}
+}
+
+// wallclockFuncs are the time-package functions that read the wall
+// clock. time.Sleep, timers and durations are allowed: they affect
+// scheduling, not values.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// forbiddenRandImports maps banned import paths to the explanation.
+var forbiddenRandImports = map[string]string{
+	"math/rand":    "unseeded/global stdlib RNG",
+	"math/rand/v2": "stdlib RNG with per-process seeding",
+	"crypto/rand":  "operating-system entropy",
+}
+
+func runDeterminism(pass *Pass) {
+	if !pass.Config.deterministic(pass.World.ModulePath, pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		// Import bans.
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, bad := forbiddenRandImports[path]; bad {
+				pass.Report("mathrand", SeverityError, imp, "", path,
+					fmt.Sprintf("import of %s (%s) in the deterministic core; derive all randomness from internal/rng", path, why))
+			}
+		}
+
+		var fn string
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.FuncDecl:
+				fn = enclosingFuncName(t)
+			case *ast.SelectorExpr:
+				if pkgPath, ok := qualifiedPkg(pass.Pkg.Info, t); ok &&
+					pkgPath == "time" && wallclockFuncs[t.Sel.Name] {
+					pass.Report("wallclock", SeverityError, t, fn, "time."+t.Sel.Name,
+						fmt.Sprintf("time.%s reads the wall clock inside the deterministic core; results must be a pure function of (spec, seed)", t.Sel.Name))
+				}
+			case *ast.RangeStmt:
+				if rangesOverMap(pass.Pkg.Info, t) {
+					pass.Report("maporder", SeverityWarning, t, fn, exprString(t.X),
+						fmt.Sprintf("iteration over map %s has randomized order; sort keys before using them for output or ordering", describeExpr(t.X)))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// qualifiedPkg resolves a selector's base to an imported package path,
+// when the selector is a qualified identifier (pkg.Name).
+func qualifiedPkg(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[id]
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// rangesOverMap reports whether a range statement iterates a map.
+func rangesOverMap(info *types.Info, r *ast.RangeStmt) bool {
+	tv, ok := info.Types[r.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import "strings"
+
+// The //grinchvet:ignore directive waives findings at one site:
+//
+//	//grinchvet:ignore <rule> [free-form reason]
+//	//grinchvet:ignore <rule>,<rule2> [reason]
+//
+// Placed on the offending line (trailing comment) or on the line
+// immediately above it, it suppresses findings of the named rules on
+// that line. The reason is encouraged — it is the reviewable record of
+// why a wall-clock read or a secret-dependent branch is acceptable.
+const ignoreDirective = "grinchvet:ignore"
+
+// collectIgnores indexes every ignore directive of a package into
+// w.ignores: file -> line -> suppressed rules. A directive on its own
+// line suppresses the following line; a trailing directive suppresses
+// its own line. Both are recorded (a directive line produces no
+// findings itself, so the extra entry is harmless).
+func collectIgnores(w *World, pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				rules := strings.Split(fields[0], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				m := w.ignores[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					w.ignores[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], rules...)
+				m[pos.Line+1] = append(m[pos.Line+1], rules...)
+			}
+		}
+	}
+}
+
+// suppressed reports whether a finding is waived by an ignore directive
+// on its line or the line above.
+func (w *World) suppressed(f Finding) bool {
+	m := w.ignores[f.File]
+	if m == nil {
+		return false
+	}
+	for _, r := range m[f.Line] {
+		if r == f.Rule || r == "all" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,391 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LeakageAnalyzer returns the secret-dependent-access pass.
+//
+// The pass runs per function: taint sources are //grinch:secret
+// annotated parameters (of this function), fields and package-level
+// variables (wherever referenced), and calls to functions annotated
+// "return". Taint propagates intraprocedurally to a fixpoint through
+// assignments, bit/arithmetic operations, field selection, indexing a
+// tainted container, range statements, and function calls (a call with
+// a tainted argument or receiver returns tainted data — the
+// overapproximation that carries key-XORed state through helper
+// chains). The builtins len and cap do not propagate: the length of a
+// secret slice is public.
+//
+// Findings:
+//
+//	secret-index  — x[i] where i is tainted: a secret-dependent memory
+//	                access, the cache side channel GRINCH exploits.
+//	secret-branch — if/switch/for condition on tainted data: a
+//	                secret-dependent control flow, the timing analogue.
+func LeakageAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:  "leakage",
+		Doc:   "flag secret-dependent array indexing and branching (cache/timing side channels)",
+		Rules: []string{"secret-index", "secret-branch"},
+		Run:   runLeakage,
+	}
+}
+
+func runLeakage(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ta := &taintAnalysis{
+				pass:    pass,
+				info:    pass.Pkg.Info,
+				secrets: pass.World.secrets,
+				tainted: map[types.Object]bool{},
+				fn:      enclosingFuncName(fd),
+			}
+			ta.solve(fd.Body)
+			ta.report(fd.Body)
+		}
+	}
+}
+
+// taintAnalysis tracks, per function, which local objects carry secret-
+// derived data. The analysis is flow-insensitive: assignments are
+// re-applied until the tainted set stops growing, so taint acquired on
+// a later line (or a later loop iteration) reaches earlier uses too —
+// exactly right for the cipher round loops this pass exists for.
+type taintAnalysis struct {
+	pass    *Pass
+	info    *types.Info
+	secrets *secretTable
+	tainted map[types.Object]bool
+	fn      string
+}
+
+// solve iterates assignment propagation to a fixpoint.
+func (ta *taintAnalysis) solve(body *ast.BlockStmt) {
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				changed = ta.assign(s) || changed
+			case *ast.GenDecl:
+				for _, spec := range s.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) == 0 {
+						continue
+					}
+					changed = ta.assignPairs(identExprs(vs.Names), vs.Values) || changed
+				}
+			case *ast.RangeStmt:
+				if ta.exprTainted(s.X) {
+					changed = ta.taintLHS(s.Key) || changed
+					changed = ta.taintLHS(s.Value) || changed
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+// assign propagates one assignment statement.
+func (ta *taintAnalysis) assign(s *ast.AssignStmt) bool {
+	// x op= y taints x when y is tainted (x's own taint persists anyway).
+	return ta.assignPairs(s.Lhs, s.Rhs)
+}
+
+func (ta *taintAnalysis) assignPairs(lhs, rhs []ast.Expr) bool {
+	changed := false
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			if ta.exprTainted(rhs[i]) {
+				changed = ta.taintLHS(lhs[i]) || changed
+			}
+		}
+		return changed
+	}
+	// x, y := f() — all LHS taint if the single RHS does, except the
+	// comma-ok bool of a type assertion: whether a secret value has some
+	// dynamic type is a type fact, not key-derived data.
+	if len(rhs) == 1 && ta.exprTainted(rhs[0]) {
+		_, isAssert := rhs[0].(*ast.TypeAssertExpr)
+		for i, l := range lhs {
+			if isAssert && i == 1 {
+				continue
+			}
+			changed = ta.taintLHS(l) || changed
+		}
+	}
+	return changed
+}
+
+// taintLHS marks the object behind an assignable expression.
+func (ta *taintAnalysis) taintLHS(e ast.Expr) bool {
+	switch t := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		if t.Name == "_" {
+			return false
+		}
+		o := ta.info.Defs[t]
+		if o == nil {
+			o = ta.info.Uses[t]
+		}
+		return ta.taintObj(o)
+	case *ast.SelectorExpr:
+		if sel, ok := ta.info.Selections[t]; ok {
+			return ta.taintObj(sel.Obj())
+		}
+		return ta.taintObj(ta.info.Uses[t.Sel])
+	case *ast.ParenExpr:
+		return ta.taintLHS(t.X)
+	case *ast.StarExpr:
+		return ta.taintLHS(t.X)
+	case *ast.IndexExpr:
+		// v[i] = secret: the container becomes secret-bearing.
+		return ta.taintLHS(t.X)
+	}
+	return false
+}
+
+func (ta *taintAnalysis) taintObj(o types.Object) bool {
+	if o == nil || ta.tainted[o] || isErrorType(o.Type()) {
+		return false
+	}
+	ta.tainted[o] = true
+	return true
+}
+
+// isErrorType reports whether t is the built-in error interface. Error
+// values returned alongside secret data are control metadata, not key
+// material — without this, every `o, err := f(secret)` would flag the
+// `if err != nil` that follows.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func (ta *taintAnalysis) objTainted(o types.Object) bool {
+	return o != nil && (ta.tainted[o] || ta.secrets.object(o))
+}
+
+// exprTainted reports whether an expression carries secret-derived data.
+func (ta *taintAnalysis) exprTainted(e ast.Expr) bool {
+	switch t := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		o := ta.info.Uses[t]
+		if o == nil {
+			o = ta.info.Defs[t]
+		}
+		return ta.objTainted(o)
+	case *ast.SelectorExpr:
+		if sel, ok := ta.info.Selections[t]; ok {
+			if ta.objTainted(sel.Obj()) {
+				return true
+			}
+			return ta.exprTainted(t.X) // field of a tainted struct
+		}
+		// Qualified identifier pkg.X.
+		return ta.objTainted(ta.info.Uses[t.Sel])
+	case *ast.BinaryExpr:
+		return ta.exprTainted(t.X) || ta.exprTainted(t.Y)
+	case *ast.UnaryExpr:
+		return ta.exprTainted(t.X)
+	case *ast.ParenExpr:
+		return ta.exprTainted(t.X)
+	case *ast.StarExpr:
+		return ta.exprTainted(t.X)
+	case *ast.IndexExpr:
+		// Reading a secret table at any index, or any table at a secret
+		// index, yields secret data.
+		return ta.exprTainted(t.X) || ta.exprTainted(t.Index)
+	case *ast.SliceExpr:
+		return ta.exprTainted(t.X)
+	case *ast.TypeAssertExpr:
+		return ta.exprTainted(t.X)
+	case *ast.CompositeLit:
+		for _, el := range t.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if ta.exprTainted(kv.Value) {
+					return true
+				}
+				continue
+			}
+			if ta.exprTainted(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return ta.callTainted(t)
+	case *ast.FuncLit:
+		// A closure capturing secret data produces secret data: treat
+		// the function value itself as tainted so a call through the
+		// variable it is bound to taints too (see callTainted).
+		return ta.funcLitCapturesSecret(t)
+	}
+	return false
+}
+
+// funcLitCapturesSecret reports whether a function literal references
+// any tainted or annotated object.
+func (ta *taintAnalysis) funcLitCapturesSecret(fl *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			o := ta.info.Uses[id]
+			if o == nil {
+				o = ta.info.Defs[id]
+			}
+			if _, isVar := o.(*types.Var); isVar && ta.objTainted(o) {
+				captures = true
+			}
+		}
+		return true
+	})
+	return captures
+}
+
+// callTainted decides whether a call's result is secret: calls to
+// //grinch:secret return functions always are; otherwise any tainted
+// argument or receiver taints the result (len/cap excepted).
+func (ta *taintAnalysis) callTainted(call *ast.CallExpr) bool {
+	if fn := ta.calleeObject(call); fn != nil {
+		if ta.secrets.secretReturn(fn) {
+			return true
+		}
+		if b, ok := fn.(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap":
+				return false
+			}
+		}
+		// A call through a secret-capturing closure (function-valued
+		// variable tainted by its FuncLit) yields secret data even with
+		// public arguments.
+		if _, isVar := fn.(*types.Var); isVar && ta.objTainted(fn) {
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if _, isMethod := ta.info.Selections[sel]; isMethod && ta.exprTainted(sel.X) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if ta.exprTainted(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the called function, if it is a named one.
+func (ta *taintAnalysis) calleeObject(call *ast.CallExpr) types.Object {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return ta.info.Uses[f]
+	case *ast.SelectorExpr:
+		if sel, ok := ta.info.Selections[f]; ok {
+			return sel.Obj()
+		}
+		return ta.info.Uses[f.Sel]
+	case *ast.ParenExpr:
+		inner, ok := f.X.(ast.Expr)
+		if ok {
+			c := *call
+			c.Fun = inner
+			return ta.calleeObject(&c)
+		}
+	}
+	return nil
+}
+
+// report walks the solved function and emits findings.
+func (ta *taintAnalysis) report(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.IndexExpr:
+			if ta.indexable(t.X) && ta.exprTainted(t.Index) {
+				base := exprString(t.X)
+				if base == "" {
+					base = "expression"
+				}
+				ta.pass.Report("secret-index", SeverityError, t, ta.fn, base,
+					fmt.Sprintf("memory access into %s indexed by secret-dependent value %s",
+						base, describeExpr(t.Index)))
+			}
+		case *ast.IfStmt:
+			if ta.exprTainted(t.Cond) {
+				ta.pass.Report("secret-branch", SeverityError, t.Cond, ta.fn, describeExpr(t.Cond),
+					fmt.Sprintf("branch condition %s depends on secret data", describeExpr(t.Cond)))
+			}
+		case *ast.SwitchStmt:
+			if t.Tag != nil && ta.exprTainted(t.Tag) {
+				ta.pass.Report("secret-branch", SeverityError, t.Tag, ta.fn, describeExpr(t.Tag),
+					fmt.Sprintf("switch on secret-dependent value %s", describeExpr(t.Tag)))
+			}
+		case *ast.ForStmt:
+			if t.Cond != nil && ta.exprTainted(t.Cond) {
+				ta.pass.Report("secret-branch", SeverityError, t.Cond, ta.fn, describeExpr(t.Cond),
+					fmt.Sprintf("loop condition %s depends on secret data", describeExpr(t.Cond)))
+			}
+		}
+		return true
+	})
+}
+
+// indexable reports whether indexing e is a memory access worth
+// flagging: arrays, slices, maps, strings and pointers to arrays. When
+// the type is unknown (stub-imported), be conservative and flag.
+func (ta *taintAnalysis) indexable(e ast.Expr) bool {
+	tv, ok := ta.info.Types[e]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	switch t.(type) {
+	case *types.Array, *types.Slice, *types.Map, *types.Basic:
+		return true
+	case *types.Signature, *types.Named:
+		return false // generic instantiation, not an access
+	}
+	return true
+}
+
+// describeExpr renders an expression for diagnostics, falling back to a
+// generic description for complex expressions.
+func describeExpr(e ast.Expr) string {
+	if s := exprString(e); s != "" {
+		return fmt.Sprintf("%q", s)
+	}
+	return "(expression)"
+}

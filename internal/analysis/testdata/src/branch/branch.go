@@ -1,0 +1,61 @@
+// Package branch is a grinchvet fixture for secret-dependent control
+// flow: if, switch and for conditions on tainted data.
+package branch
+
+// IfOnSecret branches on key-derived data — the GF-doubling pattern.
+//
+//grinch:secret d
+func IfOnSecret(d uint64) uint64 {
+	carry := d >> 63
+	d <<= 1
+	if carry != 0 { // want "secret-branch"
+		d ^= 0x1b
+	}
+	return d
+}
+
+// SwitchOnSecret switches on a secret nibble.
+//
+//grinch:secret s
+func SwitchOnSecret(s uint64) int {
+	switch s & 0xf { // want "secret-branch"
+	case 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// LoopOnSecret loops while secret bits remain.
+//
+//grinch:secret s
+func LoopOnSecret(s uint64) int {
+	n := 0
+	for s != 0 { // want "secret-branch"
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+// ErrIsPublic: the error of a call with secret arguments is control
+// metadata, not key material.
+//
+//grinch:secret key
+func ErrIsPublic(key uint64) uint64 {
+	v, err := build(key)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func build(k uint64) (uint64, error) { return k, nil }
+
+// PublicBranch: unannotated data may branch freely.
+func PublicBranch(n int) int {
+	if n > 4 {
+		return 4
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+// Package cleanbits is a grinchvet fixture: a bitsliced S-box circuit
+// over secret data. Everything is boolean operations — the leakage pass
+// must report this package clean.
+package cleanbits
+
+// SubCells applies an S-box circuit to the four bit planes of s with no
+// table lookup and no branch.
+//
+//grinch:secret s
+func SubCells(s uint64) uint64 {
+	var p0, p1, p2, p3 uint16
+	for i := uint(0); i < 16; i++ {
+		nib := s >> (4 * i)
+		p0 |= uint16(nib&1) << i
+		p1 |= uint16(nib>>1&1) << i
+		p2 |= uint16(nib>>2&1) << i
+		p3 |= uint16(nib>>3&1) << i
+	}
+	p1 ^= p0 & p2
+	p0 ^= p1 & p3
+	p2 ^= p0 | p1
+	p3 ^= p2
+	p1 ^= p3
+	p3 = ^p3
+	p2 ^= p0 & p1
+	p0, p3 = p3, p0
+	var out uint64
+	for i := uint(0); i < 16; i++ {
+		nib := uint64(p0>>i&1) | uint64(p1>>i&1)<<1 |
+			uint64(p2>>i&1)<<2 | uint64(p3>>i&1)<<3
+		out |= nib << (4 * i)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Package determin is a grinchvet fixture for the determinism pass:
+// wall-clock reads, stdlib RNG imports and output-feeding map iteration
+// inside a deterministic-core package.
+package determin
+
+import (
+	"fmt"
+	"math/rand" // want "mathrand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	t := time.Now() // want "wallclock"
+	return t.UnixNano()
+}
+
+// Elapsed reads the wall clock through time.Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wallclock"
+}
+
+// Roll uses the forbidden global RNG (the import is the finding).
+func Roll() int { return rand.Intn(6) }
+
+// Render iterates a map in randomized order.
+func Render(m map[string]int) {
+	for k, v := range m { // want "maporder"
+		fmt.Println(k, v)
+	}
+}
+
+// Ignored is the sanctioned escape hatch.
+func Ignored() int64 {
+	t := time.Now() //grinchvet:ignore wallclock fixture: progress display
+	return t.UnixNano()
+}

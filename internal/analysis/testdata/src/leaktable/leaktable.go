@@ -1,0 +1,30 @@
+// Package leaktable is a grinchvet fixture: the table-based S-box
+// pattern the leakage pass must flag, next to a public-index lookup it
+// must not.
+package leaktable
+
+var sbox = [16]uint8{1, 10, 4, 12, 6, 15, 3, 9, 2, 13, 11, 7, 5, 0, 8, 14}
+
+// SubCells looks the secret state up in a table, nibble by nibble — the
+// GRINCH leak in miniature.
+//
+//grinch:secret s
+func SubCells(s uint64) uint64 {
+	var out uint64
+	for i := uint(0); i < 16; i++ {
+		out |= uint64(sbox[(s>>(4*i))&0xf]) << (4 * i) // want "secret-index"
+	}
+	return out
+}
+
+// Public indexes the same table with unannotated data: no finding.
+func Public(x uint64) uint64 {
+	return uint64(sbox[x&0xf])
+}
+
+// LenIsPublic: the length of a secret slice is not secret.
+//
+//grinch:secret ks
+func LenIsPublic(ks []uint64, n int) bool {
+	return n > len(ks)
+}

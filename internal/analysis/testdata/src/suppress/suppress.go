@@ -1,0 +1,28 @@
+// Package suppress is a grinchvet fixture for //grinchvet:ignore: a
+// suppressed finding must vanish, its unsuppressed twin must survive,
+// and an ignore for a different rule must not help.
+package suppress
+
+var table = [16]uint8{0: 1}
+
+//grinch:secret s
+func Suppressed(s uint64) uint8 {
+	//grinchvet:ignore secret-index fixture: known and accepted
+	return table[s&0xf]
+}
+
+//grinch:secret s
+func SuppressedInline(s uint64) uint8 {
+	return table[s&0xf] //grinchvet:ignore secret-index fixture: same-line form
+}
+
+//grinch:secret s
+func NotSuppressed(s uint64) uint8 {
+	return table[s&0xf] // want "secret-index"
+}
+
+//grinch:secret s
+func WrongRule(s uint64) uint8 {
+	//grinchvet:ignore wallclock wrong rule, must not suppress
+	return table[s&0xf] // want "secret-index"
+}

@@ -1,0 +1,68 @@
+// Package taintflow is a grinchvet fixture for taint propagation:
+// through assignment chains, arithmetic, helper calls, secret-return
+// functions, struct fields and closures.
+package taintflow
+
+var table = [256]uint8{0: 1}
+
+// expand is annotated as producing secret data.
+//
+//grinch:secret key return
+func expand(key uint64) uint64 { return key * 3 }
+
+type cipher struct {
+	rk uint64 //grinch:secret
+}
+
+// ThroughAssignments: secret → a → b → index.
+//
+//grinch:secret s
+func ThroughAssignments(s uint64) uint8 {
+	a := s ^ 0xff
+	b := a >> 4
+	return table[b&0xff] // want "secret-index"
+}
+
+// ThroughCall: the result of a secret-return function is secret, even
+// with a public argument.
+func ThroughCall(pt uint64) uint8 {
+	rk := expand(0)
+	x := pt ^ rk
+	return table[x&0xff] // want "secret-index"
+}
+
+// ThroughField: reading an annotated struct field yields secret data.
+func ThroughField(c *cipher, pt uint64) uint8 {
+	x := pt ^ c.rk
+	return table[x&0xff] // want "secret-index"
+}
+
+// ThroughClosure: a closure capturing secret data produces secret data
+// when called.
+//
+//grinch:secret full
+func ThroughClosure(full uint64) uint8 {
+	bit := func(i uint) uint64 { return full >> i & 1 }
+	idx := bit(3)<<1 | bit(7)
+	return table[idx] // want "secret-index"
+}
+
+// LaterTaint: flow-insensitivity — taint acquired on a later loop
+// iteration reaches the use above it.
+//
+//grinch:secret k
+func LaterTaint(k uint64) uint8 {
+	var out uint8
+	x := uint64(0)
+	for i := 0; i < 4; i++ {
+		out = table[x&0xff] // want "secret-index"
+		x ^= k
+	}
+	return out
+}
+
+// PublicStaysPublic: no annotation anywhere, no finding.
+func PublicStaysPublic(pt uint64) uint8 {
+	x := pt ^ 42
+	return table[x&0xff]
+}

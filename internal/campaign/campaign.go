@@ -128,6 +128,19 @@ type Result struct {
 	Worker     int   `json:"worker,omitempty"`
 }
 
+// Canonical returns the result with its execution-specific fields
+// (DurationNS, Worker) zeroed — the deterministic projection that is a
+// pure function of (spec, seed). Everything that serializes results for
+// comparison or reproducible output must go through this: JSONLSink
+// uses it unless Timing is requested, and the determinism regression
+// tests compare canonical forms, so wall-clock readings in the runner
+// can never reach deterministic sink bytes.
+func (r Result) Canonical() Result {
+	r.DurationNS = 0
+	r.Worker = 0
+	return r
+}
+
 // Executor runs one job and returns its measurement. Executors must be
 // pure functions of the job (all randomness drawn from Job.Seed) for
 // the determinism contract to hold, and must be safe for concurrent

@@ -129,8 +129,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	strip := func(rs []Result) []Result {
 		out := append([]Result(nil), rs...)
 		for i := range out {
-			out[i].DurationNS = 0
-			out[i].Worker = 0
+			out[i] = out[i].Canonical()
 		}
 		return out
 	}
@@ -139,6 +138,67 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 	if !bytes.Equal(out1, out8) {
 		t.Fatal("JSONL output not byte-identical between -workers=1 and -workers=8")
+	}
+}
+
+// TestCanonicalStripsExactlyTimingFields pins the determinism contract
+// to the Result type: Canonical must zero DurationNS and Worker and
+// nothing else, so a future field added to Result is deterministic by
+// default and timing can never leak back into canonical output.
+func TestCanonicalStripsExactlyTimingFields(t *testing.T) {
+	r := Result{
+		Job:   3,
+		Point: Point{Kind: "noise", Platform: "soc", MHz: 50, Trial: 2},
+		Seed:  9,
+		Measurement: Measurement{
+			Encryptions: 42, DroppedOut: true, Correct: true, Round: 4,
+		},
+		Failed:     true,
+		Err:        "injected",
+		DurationNS: 12345,
+		Worker:     7,
+	}
+	c := r.Canonical()
+	if c.DurationNS != 0 || c.Worker != 0 {
+		t.Fatalf("Canonical kept timing metadata: %+v", c)
+	}
+	want := r
+	want.DurationNS = 0
+	want.Worker = 0
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("Canonical altered a deterministic field:\ngot  %+v\nwant %+v", c, want)
+	}
+}
+
+// TestTimingNeverReachesDeterministicBytes is the regression test for
+// the wall-clock readings in the runner: the journal records real
+// durations, but a full replay through the sinks must produce the same
+// bytes as a fresh run, and the deterministic JSONL stream must not
+// mention the timing keys at all.
+func TestTimingNeverReachesDeterministicBytes(t *testing.T) {
+	_, fresh := runToy(t, 4, Options{})
+
+	journal := filepath.Join(t.TempDir(), "toy.journal")
+	if _, err := Run(context.Background(), testSpec(), toyExec,
+		Options{Workers: 4, Journal: journal}); err != nil {
+		t.Fatal(err)
+	}
+	var replay bytes.Buffer
+	rep, err := Run(context.Background(), testSpec(), toyExec,
+		Options{Workers: 4, Journal: journal, Sinks: []Sink{&JSONLSink{W: &replay}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executed != 0 {
+		t.Fatalf("replay executed %d jobs, want 0 (all journaled)", rep.Executed)
+	}
+	if !bytes.Equal(fresh, replay.Bytes()) {
+		t.Fatal("journal-replayed JSONL differs from a fresh run's bytes")
+	}
+	for _, key := range []string{"duration_ns", "worker"} {
+		if bytes.Contains(fresh, []byte(key)) {
+			t.Fatalf("deterministic JSONL stream contains timing key %q", key)
+		}
 	}
 }
 

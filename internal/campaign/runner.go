@@ -56,7 +56,7 @@ type Report struct {
 // Panics inside the executor are recovered and recorded as failed
 // results; they do not kill the run.
 func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, error) {
-	start := time.Now()
+	start := time.Now() //grinchvet:ignore wallclock Report.Elapsed is operator telemetry, stripped from deterministic sink output
 	if err := spec.Validate(); err != nil {
 		return Report{}, err
 	}
@@ -179,7 +179,7 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 	}
 
 	rep.Delivered = next
-	rep.Elapsed = time.Since(start)
+	rep.Elapsed = time.Since(start) //grinchvet:ignore wallclock operator telemetry, not part of sink bytes
 	closeErr := sinks.Close()
 
 	switch {
@@ -198,14 +198,14 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 // runJob executes one job, converting errors and panics into failed
 // results and stamping the execution metadata.
 func runJob(job Job, exec Executor, worker int) (res Result) {
-	start := time.Now()
+	start := time.Now() //grinchvet:ignore wallclock Result.DurationNS is excluded from canonical sink output (see Result.Canonical)
 	res = Result{Job: job.Index, Point: job.Point, Seed: job.Seed, Worker: worker}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Failed = true
 			res.Err = fmt.Sprintf("panic: %v", r)
 		}
-		res.DurationNS = time.Since(start).Nanoseconds()
+		res.DurationNS = time.Since(start).Nanoseconds() //grinchvet:ignore wallclock timing metadata, excluded from canonical sink output
 	}()
 	m, err := exec(job)
 	if err != nil {

@@ -44,8 +44,7 @@ func (s *JSONLSink) Begin(Spec, int) error {
 // Write implements Sink.
 func (s *JSONLSink) Write(r Result) error {
 	if !s.Timing {
-		r.DurationNS = 0
-		r.Worker = 0
+		r = r.Canonical()
 	}
 	b, err := json.Marshal(r)
 	if err != nil {

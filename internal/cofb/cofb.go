@@ -40,15 +40,19 @@ var ErrAuth = errors.New("cofb: message authentication failed")
 
 // AEAD is a GIFT-COFB instance.
 type AEAD struct {
-	cipher *gift.Cipher128
+	cipher *gift.Cipher128 //grinch:secret
 }
 
 // New builds an AEAD from a 128-bit key.
+//
+//grinch:secret key
 func New(key [16]byte) *AEAD {
 	return &AEAD{cipher: gift.NewCipher128(key)}
 }
 
 // NewFromWord builds an AEAD from a key word.
+//
+//grinch:secret key
 func NewFromWord(key bitutil.Word128) *AEAD {
 	return &AEAD{cipher: gift.NewCipher128FromWord(key)}
 }
@@ -59,12 +63,18 @@ type block = bitutil.Word128
 
 // g applies the combined feedback function G(Y₁‖Y₂) = Y₂‖(Y₁ ⋘ 1),
 // where Y₁ is the leftmost (Hi) half.
+//
+//grinch:secret y return
 func g(y block) block {
 	return block{Hi: y.Lo, Lo: y.Hi<<1 | y.Hi>>63}
 }
 
 // double multiplies a 64-bit mask by x in GF(2⁶⁴) with the primitive
-// polynomial x⁶⁴+x⁴+x³+x+1 (0x1b).
+// polynomial x⁶⁴+x⁴+x³+x+1 (0x1b). The mask chain is derived from
+// E_K(N), so the carry branch below is a secret-dependent branch — the
+// classic GF-doubling timing leak grinchvet keeps on the books.
+//
+//grinch:secret d return
 func double(d uint64) uint64 {
 	carry := d >> 63
 	d <<= 1
@@ -75,9 +85,14 @@ func double(d uint64) uint64 {
 }
 
 // triple returns 3·Δ = 2·Δ ⊕ Δ.
+//
+//grinch:secret d return
 func triple(d uint64) uint64 { return double(d) ^ d }
 
-// enc runs the block cipher.
+// enc runs the block cipher. Its output is keyed material: everything
+// downstream (feedback state, mask chain, tag) is secret-derived.
+//
+//grinch:secret return
 func (a *AEAD) enc(x block) block { return a.cipher.EncryptBlock(x) }
 
 // xorMask folds the 64-bit mask into the top half of a block (Δ‖0⁶⁴).
@@ -219,6 +234,9 @@ func (a *AEAD) Open(dst []byte, nonce [NonceSize]byte, ciphertext, ad []byte) ([
 		}
 	}
 	tag := y.Bytes()
+	// The tag check must branch on keyed data — that is its job. The
+	// comparison itself is constant-time; only accept/reject escapes.
+	//grinchvet:ignore secret-branch constant-time compare, only the verdict branches
 	if subtle.ConstantTimeCompare(tag[:], wantTag) != 1 {
 		return nil, ErrAuth
 	}

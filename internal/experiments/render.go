@@ -159,6 +159,7 @@ func RenderTable2(rows []Table2Row) string {
 	fmt.Fprintf(&b, "%-24s %10s %10s %10s %s\n", "platform", "10 MHz", "25 MHz", "50 MHz", "(paper)")
 	for _, row := range rows {
 		freqs := make([]uint64, 0, len(row.EarliestRound))
+		//grinchvet:ignore maporder keys are sorted before any output is rendered
 		for f := range row.EarliestRound {
 			freqs = append(freqs, f)
 		}

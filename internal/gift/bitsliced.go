@@ -21,6 +21,8 @@ import "grinch/internal/bitutil"
 // (verified exhaustively against the lookup table in bitsliced_test.go).
 
 // planes64 splits a GIFT-64 state into its four 16-bit bit planes.
+//
+//grinch:secret s return
 func planes64(s uint64) (p0, p1, p2, p3 uint16) {
 	for i := uint(0); i < 16; i++ {
 		nib := s >> (4 * i)
@@ -44,6 +46,8 @@ func unplanes64(p0, p1, p2, p3 uint16) uint64 {
 }
 
 // sboxPlanes applies the GIFT S-box circuit to generic-width planes.
+//
+//grinch:secret
 func sboxPlanes(s0, s1, s2, s3 uint32) (uint32, uint32, uint32, uint32) {
 	s1 ^= s0 & s2
 	s0 ^= s1 & s3
@@ -56,6 +60,8 @@ func sboxPlanes(s0, s1, s2, s3 uint32) (uint32, uint32, uint32, uint32) {
 }
 
 // invSBoxPlanes inverts sboxPlanes (each step undone in reverse order).
+//
+//grinch:secret
 func invSBoxPlanes(s0, s1, s2, s3 uint32) (uint32, uint32, uint32, uint32) {
 	s0, s3 = s3, s0 // undo swap
 	s2 ^= s0 & s1
@@ -69,7 +75,11 @@ func invSBoxPlanes(s0, s1, s2, s3 uint32) (uint32, uint32, uint32, uint32) {
 }
 
 // SubCells64Bitsliced applies the S-box layer to a GIFT-64 state without
-// any table lookup.
+// any table lookup. The state is as secret as in SubCells64; grinchvet
+// verifies that, unlike the table path, no secret-indexed access or
+// secret branch exists here.
+//
+//grinch:secret s
 func SubCells64Bitsliced(s uint64) uint64 {
 	p0, p1, p2, p3 := planes64(s)
 	q0, q1, q2, q3 := sboxPlanes(uint32(p0), uint32(p1), uint32(p2), uint32(p3))
@@ -77,6 +87,8 @@ func SubCells64Bitsliced(s uint64) uint64 {
 }
 
 // InvSubCells64Bitsliced applies the inverse S-box layer without lookups.
+//
+//grinch:secret s
 func InvSubCells64Bitsliced(s uint64) uint64 {
 	p0, p1, p2, p3 := planes64(s)
 	q0, q1, q2, q3 := invSBoxPlanes(uint32(p0), uint32(p1), uint32(p2), uint32(p3))
@@ -103,6 +115,8 @@ func (c *Cipher64) DecryptBlockBitsliced(ct uint64) uint64 {
 }
 
 // planes128 splits a GIFT-128 state into four 32-bit planes.
+//
+//grinch:secret s return
 func planes128(s bitutil.Word128) (p0, p1, p2, p3 uint32) {
 	l0, l1, l2, l3 := planes64(s.Lo)
 	h0, h1, h2, h3 := planes64(s.Hi)
@@ -120,6 +134,8 @@ func unplanes128(p0, p1, p2, p3 uint32) bitutil.Word128 {
 
 // SubCells128Bitsliced applies the S-box layer to a GIFT-128 state
 // without any table lookup.
+//
+//grinch:secret s
 func SubCells128Bitsliced(s bitutil.Word128) bitutil.Word128 {
 	p0, p1, p2, p3 := planes128(s)
 	return unplanes128(sboxPlanes(p0, p1, p2, p3))
@@ -127,6 +143,8 @@ func SubCells128Bitsliced(s bitutil.Word128) bitutil.Word128 {
 
 // InvSubCells128Bitsliced applies the inverse S-box layer without
 // lookups.
+//
+//grinch:secret s
 func InvSubCells128Bitsliced(s bitutil.Word128) bitutil.Word128 {
 	p0, p1, p2, p3 := planes128(s)
 	return unplanes128(invSBoxPlanes(p0, p1, p2, p3))

@@ -17,16 +17,20 @@ type RoundKey128 struct {
 // Cipher128 is a GIFT-128 instance with an expanded key schedule
 // (16-byte blocks).
 type Cipher128 struct {
-	rk [Rounds128]RoundKey128
+	rk [Rounds128]RoundKey128 //grinch:secret
 }
 
 // NewCipher128 expands a 128-bit key (big-endian byte order) into a
 // GIFT-128 cipher.
+//
+//grinch:secret key
 func NewCipher128(key [16]byte) *Cipher128 {
 	return NewCipher128FromWord(bitutil.Word128FromBytes(key))
 }
 
 // NewCipher128FromWord expands a key given as a 128-bit word.
+//
+//grinch:secret key
 func NewCipher128FromWord(key bitutil.Word128) *Cipher128 {
 	c := &Cipher128{}
 	copy(c.rk[:], ExpandKey128(key))
@@ -87,6 +91,8 @@ func (c *Cipher128) RoundKeys() []RoundKey128 {
 
 // ExpandKey128 runs the GIFT key schedule for GIFT-128: round r uses
 // U = k5‖k4, V = k1‖k0, with the same key-state rotation as GIFT-64.
+//
+//grinch:secret key return
 func ExpandKey128(key bitutil.Word128) []RoundKey128 {
 	rks := make([]RoundKey128, Rounds128)
 	ks := key
@@ -102,11 +108,15 @@ func ExpandKey128(key bitutil.Word128) []RoundKey128 {
 }
 
 // SubCells128 applies the S-box to all 32 segments.
+//
+//grinch:secret s
 func SubCells128(s bitutil.Word128) bitutil.Word128 {
 	return bitutil.Word128{Lo: SubCells64(s.Lo), Hi: SubCells64(s.Hi)}
 }
 
 // InvSubCells128 applies the inverse S-box to all 32 segments.
+//
+//grinch:secret s
 func InvSubCells128(s bitutil.Word128) bitutil.Word128 {
 	return bitutil.Word128{Lo: InvSubCells64(s.Lo), Hi: InvSubCells64(s.Hi)}
 }
@@ -124,6 +134,8 @@ func InvPermBits128(s bitutil.Word128) bitutil.Word128 {
 // AddRoundKey128 XORs the round key into the state: u_i into bit 4i+2,
 // v_i into bit 4i+1, the fixed 1 into bit 127 and the constant bits
 // c5..c0 into bits 23, 19, 15, 11, 7, 3.
+//
+//grinch:secret rk return
 func AddRoundKey128(s bitutil.Word128, rk RoundKey128) bitutil.Word128 {
 	var lo, hi uint64
 	for i := uint(0); i < 16; i++ {
@@ -140,11 +152,15 @@ func AddRoundKey128(s bitutil.Word128, rk RoundKey128) bitutil.Word128 {
 }
 
 // Round128 applies one full GIFT-128 round.
+//
+//grinch:secret s rk
 func Round128(s bitutil.Word128, rk RoundKey128) bitutil.Word128 {
 	return AddRoundKey128(PermBits128(SubCells128(s)), rk)
 }
 
 // InvRound128 inverts one GIFT-128 round.
+//
+//grinch:secret s rk
 func InvRound128(s bitutil.Word128, rk RoundKey128) bitutil.Word128 {
 	return InvSubCells128(InvPermBits128(AddRoundKey128(s, rk)))
 }

@@ -19,17 +19,21 @@ type RoundKey64 struct {
 // implements the same Encrypt/Decrypt/BlockSize contract as
 // crypto/cipher.Block (8-byte blocks).
 type Cipher64 struct {
-	rk [Rounds64]RoundKey64
+	rk [Rounds64]RoundKey64 //grinch:secret
 }
 
 // NewCipher64 expands a 128-bit key (big-endian byte order, as in the
 // official test vectors) into a GIFT-64 cipher.
+//
+//grinch:secret key
 func NewCipher64(key [16]byte) *Cipher64 {
 	return NewCipher64FromWord(bitutil.Word128FromBytes(key))
 }
 
 // NewCipher64FromWord expands a key given as a 128-bit word (limb k0 at
 // bits 0..15, k7 at bits 112..127).
+//
+//grinch:secret key
 func NewCipher64FromWord(key bitutil.Word128) *Cipher64 {
 	c := &Cipher64{}
 	ks := ExpandKey64(key)
@@ -83,6 +87,8 @@ func (c *Cipher64) RoundKeys() []RoundKey64 {
 // ExpandKey64 runs the GIFT key schedule for GIFT-64: round r uses
 // U = k1, V = k0 of the current key state, after which the state rotates
 // k7‖…‖k0 ← (k1 ⋙ 2)‖(k0 ⋙ 12)‖k7‖…‖k2.
+//
+//grinch:secret key return
 func ExpandKey64(key bitutil.Word128) []RoundKey64 {
 	rks := make([]RoundKey64, Rounds64)
 	ks := key
@@ -100,6 +106,8 @@ func ExpandKey64(key bitutil.Word128) []RoundKey64 {
 // UpdateKeyState applies one step of the GIFT key-state rotation, shared
 // by GIFT-64 and GIFT-128 (the variants differ only in which limbs each
 // round extracts).
+//
+//grinch:secret ks return
 func UpdateKeyState(ks bitutil.Word128) bitutil.Word128 {
 	var next bitutil.Word128
 	next = next.SetWord16(7, bitutil.RotR16(ks.Word16(1), 2))
@@ -110,7 +118,11 @@ func UpdateKeyState(ks bitutil.Word128) bitutil.Word128 {
 	return next
 }
 
-// SubCells64 applies the S-box to all 16 segments.
+// SubCells64 applies the S-box to all 16 segments. From round 2 on the
+// state is key-XORed, so the table indices are secret-dependent — this
+// is the memory-access leak the GRINCH attack observes.
+//
+//grinch:secret s
 func SubCells64(s uint64) uint64 {
 	var out uint64
 	for i := uint(0); i < Segments64; i++ {
@@ -120,6 +132,8 @@ func SubCells64(s uint64) uint64 {
 }
 
 // InvSubCells64 applies the inverse S-box to all 16 segments.
+//
+//grinch:secret s
 func InvSubCells64(s uint64) uint64 {
 	var out uint64
 	for i := uint(0); i < Segments64; i++ {
@@ -141,6 +155,8 @@ func InvPermBits64(s uint64) uint64 {
 // AddRoundKey64 XORs the round key and round constant into the state:
 // u_i into bit 4i+1, v_i into bit 4i, the fixed 1 into bit 63 and the
 // constant bits c5..c0 into bits 23, 19, 15, 11, 7, 3.
+//
+//grinch:secret rk return
 func AddRoundKey64(s uint64, rk RoundKey64) uint64 {
 	s ^= spreadKeyBits64(rk)
 	return s
@@ -149,6 +165,8 @@ func AddRoundKey64(s uint64, rk RoundKey64) uint64 {
 // spreadKeyBits64 expands a round key into the 64-bit XOR mask applied by
 // AddRoundKey64. Because XOR is an involution the same mask also removes
 // the round key during decryption.
+//
+//grinch:secret rk return
 func spreadKeyBits64(rk RoundKey64) uint64 {
 	var m uint64
 	for i := uint(0); i < 16; i++ {
@@ -163,11 +181,15 @@ func spreadKeyBits64(rk RoundKey64) uint64 {
 }
 
 // Round64 applies one full GIFT-64 round: SubCells, PermBits, AddRoundKey.
+//
+//grinch:secret s rk
 func Round64(s uint64, rk RoundKey64) uint64 {
 	return AddRoundKey64(PermBits64(SubCells64(s)), rk)
 }
 
 // InvRound64 inverts one GIFT-64 round.
+//
+//grinch:secret s rk
 func InvRound64(s uint64, rk RoundKey64) uint64 {
 	return InvSubCells64(InvPermBits64(AddRoundKey64(s, rk)))
 }
@@ -230,6 +252,8 @@ func (c *Cipher64) SBoxInputsN(pt uint64, n int) []uint64 {
 // PartialEncrypt64 applies rounds 1..n of the cipher (n=0 returns pt
 // unchanged). The attack uses it to compute intermediate states from
 // already-recovered round keys.
+//
+//grinch:secret rks
 func PartialEncrypt64(pt uint64, rks []RoundKey64, n int) uint64 {
 	if n > len(rks) {
 		panic(fmt.Sprintf("gift: partial encrypt over %d rounds with %d round keys", n, len(rks)))
@@ -242,6 +266,8 @@ func PartialEncrypt64(pt uint64, rks []RoundKey64, n int) uint64 {
 }
 
 // PartialDecrypt64 inverts rounds n..1.
+//
+//grinch:secret rks
 func PartialDecrypt64(ct uint64, rks []RoundKey64, n int) uint64 {
 	if n > len(rks) {
 		panic(fmt.Sprintf("gift: partial decrypt over %d rounds with %d round keys", n, len(rks)))

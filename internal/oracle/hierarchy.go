@@ -25,7 +25,7 @@ import (
 // It implements probe.Channel.
 type HierOracle struct {
 	cfg         Config
-	cipher      *gift.Cipher64
+	cipher      *gift.Cipher64 //grinch:secret
 	hier        *cache.Hierarchy
 	table       probe.TableLayout
 	lines       int
@@ -34,6 +34,8 @@ type HierOracle struct {
 
 // NewHierarchyChannel builds the channel. The hierarchy's line size must
 // equal cfg.LineWords (1 word = 1 byte) so the index→line mapping holds.
+//
+//grinch:secret key
 func NewHierarchyChannel(key bitutil.Word128, cfg Config, hier *cache.Hierarchy, tableBase uint64) (*HierOracle, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -97,6 +99,8 @@ func (o *HierOracle) Collect(pt uint64, targetRound int) probe.LineSet {
 }
 
 // victimRound issues one round's 16 table lookups through the hierarchy.
+//
+//grinch:secret state
 func (o *HierOracle) victimRound(state uint64) {
 	for seg := uint(0); seg < gift.Segments64; seg++ {
 		idx := int(bitutil.Nibble(state, seg))

@@ -98,8 +98,8 @@ type truncatedTracer interface {
 // implements probe.Channel and probe.MaskedChannel.
 type Oracle struct {
 	cfg         Config
-	tracer      Tracer
-	cipher      *gift.Cipher64
+	tracer      Tracer         //grinch:secret
+	cipher      *gift.Cipher64 //grinch:secret
 	noise       *rng.Source
 	lines       int
 	encryptions uint64
@@ -108,6 +108,8 @@ type Oracle struct {
 }
 
 // New builds an oracle for a victim holding the given key.
+//
+//grinch:secret key
 func New(key bitutil.Word128, cfg Config) (*Oracle, error) {
 	c := gift.NewCipher64FromWord(key)
 	o, err := NewFromTracer(c, cfg)
@@ -119,6 +121,8 @@ func New(key bitutil.Word128, cfg Config) (*Oracle, error) {
 }
 
 // NewFromTracer builds an oracle over any traced victim implementation.
+//
+//grinch:secret tr
 func NewFromTracer(tr Tracer, cfg Config) (*Oracle, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -132,6 +136,8 @@ func NewFromTracer(tr Tracer, cfg Config) (*Oracle, error) {
 }
 
 // MustNew is New for known-good configurations.
+//
+//grinch:secret key
 func MustNew(key bitutil.Word128, cfg Config) *Oracle {
 	o, err := New(key, cfg)
 	if err != nil {
@@ -202,7 +208,12 @@ func (o *Oracle) applyNoise(set probe.LineSet) probe.LineSet {
 	return applyNoise(o.cfg, o.noise, o.lines, set)
 }
 
-// applyNoise is shared by the GIFT-64 and GIFT-128 oracles.
+// applyNoise is shared by the GIFT-64 and GIFT-128 oracles. The line
+// set is the victim's access pattern — secret-derived — so the
+// membership branch below is a (simulation-side) secret-dependent
+// branch the leakage pass keeps on the books.
+//
+//grinch:secret set return
 func applyNoise(cfg Config, noise *rng.Source, lines int, set probe.LineSet) probe.LineSet {
 	if cfg.FalsePresence == 0 && cfg.FalseAbsence == 0 {
 		return set

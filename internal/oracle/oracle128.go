@@ -24,14 +24,16 @@ type truncatedTracer128 interface {
 // core.Channel128.
 type Oracle128 struct {
 	cfg         Config
-	tracer      Tracer128
-	cipher      *gift.Cipher128
+	tracer      Tracer128       //grinch:secret
+	cipher      *gift.Cipher128 //grinch:secret
 	noise       *rng.Source
 	lines       int
 	encryptions uint64
 }
 
 // New128 builds an oracle for a GIFT-128 victim holding the given key.
+//
+//grinch:secret key
 func New128(key bitutil.Word128, cfg Config) (*Oracle128, error) {
 	c := gift.NewCipher128FromWord(key)
 	o, err := New128FromTracer(c, cfg)
@@ -43,6 +45,8 @@ func New128(key bitutil.Word128, cfg Config) (*Oracle128, error) {
 }
 
 // New128FromTracer builds an oracle over any traced GIFT-128 victim.
+//
+//grinch:secret tr
 func New128FromTracer(tr Tracer128, cfg Config) (*Oracle128, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -28,13 +28,15 @@ type truncatedTracerP interface {
 // It implements core.ChannelP.
 type OracleP struct {
 	cfg         Config
-	tracer      TracerP
+	tracer      TracerP //grinch:secret
 	noise       *rng.Source
 	lines       int
 	encryptions uint64
 }
 
 // NewPresent builds an oracle over a PRESENT victim.
+//
+//grinch:secret tr
 func NewPresent(tr TracerP, cfg Config) (*OracleP, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

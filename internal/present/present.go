@@ -52,7 +52,12 @@ func genPerm() [64]uint8 {
 	return p
 }
 
-// SubCells applies the S-box to all 16 segments.
+// SubCells applies the S-box to all 16 segments. PRESENT XORs the round
+// key into the state *before* SubCells, so the table indices are
+// key-dependent from the very first round — the property that makes
+// table-based PRESENT strictly easier prey for GRINCH-P.
+//
+//grinch:secret s
 func SubCells(s uint64) uint64 {
 	var out uint64
 	for i := uint(0); i < Segments; i++ {
@@ -62,6 +67,8 @@ func SubCells(s uint64) uint64 {
 }
 
 // InvSubCells applies the inverse S-box to all 16 segments.
+//
+//grinch:secret s
 func InvSubCells(s uint64) uint64 {
 	var out uint64
 	for i := uint(0); i < Segments; i++ {
@@ -84,18 +91,22 @@ func InvPermBits(s uint64) uint64 {
 // Note the ordering difference from GIFT (key first): the very first
 // round's S-box indices are already key-dependent, which is what makes
 // the GRINCH adaptation recover four key bits per segment.
+//
+//grinch:secret s rk
 func Round(s, rk uint64) uint64 {
 	return PermBits(SubCells(s ^ rk))
 }
 
 // InvRound inverts one round.
+//
+//grinch:secret s rk
 func InvRound(s, rk uint64) uint64 {
 	return InvSubCells(InvPermBits(s)) ^ rk
 }
 
 // Cipher80 is PRESENT-80 with an expanded key schedule.
 type Cipher80 struct {
-	rk [Rounds + 1]uint64
+	rk [Rounds + 1]uint64 //grinch:secret
 }
 
 // key80 is the 80-bit key register, kept as hi (top 16 bits, i.e. key
@@ -106,6 +117,8 @@ type key80 struct {
 }
 
 // NewCipher80 expands a 10-byte key (big-endian, k79 first).
+//
+//grinch:secret key
 func NewCipher80(key [10]byte) *Cipher80 {
 	reg := key80{
 		hi: binary.BigEndian.Uint16(key[:2]),
@@ -121,13 +134,18 @@ func NewCipher80(key [10]byte) *Cipher80 {
 
 // roundKey80 extracts the round key: the top 64 bits of the register
 // (bits 79..16).
+//
+//grinch:secret k return
 func roundKey80(k key80) uint64 {
 	return uint64(k.hi)<<48 | k.lo>>16
 }
 
 // updateKey80 is the PRESENT-80 key schedule step: rotate the register
 // left by 61, S-box the top nibble, XOR the round counter into bits
-// 19..15.
+// 19..15. The S-box step is a key-dependent table lookup — PRESENT's key
+// schedule itself leaks through a shared cache.
+//
+//grinch:secret k return
 func updateKey80(k key80, counter uint64) key80 {
 	// Rotate left 61 over 80 bits = take bits [18..0 ‖ 79..19].
 	full := [2]uint64{k.lo, uint64(k.hi)} // low, high(16 bits)
@@ -216,6 +234,8 @@ func (c *Cipher80) SBoxInputsN(pt uint64, n int) []uint64 {
 }
 
 // PartialDecrypt inverts rounds n..1 (not the final whitening).
+//
+//grinch:secret rks
 func PartialDecrypt(s uint64, rks []uint64, n int) uint64 {
 	for r := n - 1; r >= 0; r-- {
 		s = InvRound(s, rks[r])
@@ -225,10 +245,12 @@ func PartialDecrypt(s uint64, rks []uint64, n int) uint64 {
 
 // Cipher128 is PRESENT-128.
 type Cipher128 struct {
-	rk [Rounds + 1]uint64
+	rk [Rounds + 1]uint64 //grinch:secret
 }
 
 // NewCipher128 expands a 16-byte key (big-endian, k127 first).
+//
+//grinch:secret key
 func NewCipher128(key [16]byte) *Cipher128 {
 	reg := bitutil.Word128FromBytes(key)
 	c := &Cipher128{}
@@ -241,6 +263,8 @@ func NewCipher128(key [16]byte) *Cipher128 {
 
 // updateKey128 is the PRESENT-128 key schedule step: rotate left 61,
 // S-box the top two nibbles, XOR the counter into bits 66..62.
+//
+//grinch:secret k return
 func updateKey128(k bitutil.Word128, counter uint64) bitutil.Word128 {
 	// Rotate left 61 over 128 bits.
 	var n bitutil.Word128

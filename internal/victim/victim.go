@@ -51,7 +51,7 @@ func DefaultTiming() Timing {
 
 // Victim is a GIFT-64 encryption service with progress tracking.
 type Victim struct {
-	cipher *gift.Cipher64
+	cipher *gift.Cipher64 //grinch:secret
 	table  probe.TableLayout
 	timing Timing
 
@@ -61,6 +61,8 @@ type Victim struct {
 
 // New builds a victim holding the cipher whose key the attacker is
 // after. table locates the S-box lookup table in the shared memory map.
+//
+//grinch:secret cipher
 func New(cipher *gift.Cipher64, table probe.TableLayout, timing Timing) *Victim {
 	return &Victim{cipher: cipher, table: table, timing: timing}
 }
