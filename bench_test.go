@@ -14,6 +14,7 @@ import (
 	"grinch/internal/core"
 	"grinch/internal/countermeasure"
 	"grinch/internal/gift"
+	"grinch/internal/obs"
 	"grinch/internal/oracle"
 	"grinch/internal/probe"
 	"grinch/internal/rng"
@@ -21,14 +22,16 @@ import (
 )
 
 // attackFirstRound runs one first-round attack and returns its
-// encryption cost.
-func attackFirstRound(b *testing.B, key bitutil.Word128, ocfg oracle.Config, seed, budget uint64) uint64 {
+// encryption cost. tracer (usually nil) threads event tracing through
+// the channel and attacker, for the tracing-overhead benchmarks.
+func attackFirstRound(b *testing.B, key bitutil.Word128, ocfg oracle.Config, seed, budget uint64, tracer obs.Tracer) uint64 {
 	b.Helper()
 	ch, err := oracle.New(key, ocfg)
 	if err != nil {
 		b.Fatal(err)
 	}
-	a, err := core.NewAttacker(ch, core.Config{Seed: seed, TotalBudget: budget})
+	ch.SetTracer(tracer)
+	a, err := core.NewAttacker(ch, core.Config{Seed: seed, TotalBudget: budget, Tracer: tracer})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,9 +48,41 @@ func benchFirstRound(b *testing.B, ocfg oracle.Config, budget uint64) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
-		total += attackFirstRound(b, key, ocfg, r.Uint64(), budget)
+		total += attackFirstRound(b, key, ocfg, r.Uint64(), budget, nil)
 	}
 	b.ReportMetric(float64(total)/float64(b.N), "encryptions/op")
+}
+
+// BenchmarkAttackNilTracer and BenchmarkAttackTraced pin the
+// observability cost model (DESIGN.md §10): with a nil tracer the hot
+// path pays only nil checks, so NilTracer must stay within noise of the
+// untraced baseline (BenchmarkFig3/WithFlush/ProbeRound1 is the same
+// workload); Traced shows the real price of buffering the full event
+// stream.
+func BenchmarkAttackNilTracer(b *testing.B) {
+	r := rng.New(2021)
+	var total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
+		total += attackFirstRound(b, key, oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1}, r.Uint64(), 2_000_000, nil)
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "encryptions/op")
+}
+
+func BenchmarkAttackTraced(b *testing.B) {
+	r := rng.New(2021)
+	var total uint64
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
+		buf := &obs.Buffer{Job: i}
+		total += attackFirstRound(b, key, oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1}, r.Uint64(), 2_000_000, buf)
+		events += len(buf.Events)
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "encryptions/op")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
 // BenchmarkFig3 regenerates the two Fig. 3 series; probing rounds 1–5

@@ -9,6 +9,8 @@
 //	campaign -spec sweep.json -out results.jsonl
 //	campaign -journal t1.journal table1      # checkpointed; re-run to resume
 //	campaign -csv results.csv -quiet table2
+//	campaign -trace t1.trace.jsonl table1    # record the event trace
+//	campaign -debug-addr :6060 table1        # expvar metrics + pprof
 //
 // A campaign is a grid of independent attack jobs (probe round × flush
 // × line size × platform × clock × trial). Jobs run on a bounded
@@ -18,6 +20,17 @@
 // interrupted run (Ctrl-C drains in-flight jobs and flushes the
 // journal) resumes exactly where it stopped.
 //
+// With -trace, every job records its internal trajectory (internal/obs
+// events: encryption boundaries, probe observations, candidate-set
+// updates, segment recoveries) and the JSONL trace is written in
+// job-index order — byte-identical for any -workers value. Render it
+// with cmd/traceview. Jobs resumed from a journal are not re-executed
+// and do not appear in the trace.
+//
+// Failed jobs are logged once each on stderr and make the run exit
+// non-zero unless -keep-going is set (the grid still completes either
+// way; failures are recorded, not retried).
+//
 // Presets: fig3 | table1 | table2 | recovery. A -spec JSON file has
 // the shape:
 //
@@ -25,36 +38,46 @@
 //	 "budget":1000000,"line_words":[1,2,4,8],"flush":[true],
 //	 "probe_rounds":[1,2,3,4,5]}
 //
-// Progress (with ETA) is reported on stderr; the per-cell aggregate
-// table lands on stdout after the run, alongside any -out/-csv files.
+// Progress (with ETA) is reported on stderr every -progress interval;
+// the per-cell aggregate table lands on stdout after the run,
+// alongside any -out/-csv/-trace files.
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -debug-addr serves the default mux's profiles
 	"os"
 	"os/signal"
+	"runtime"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"grinch/internal/campaign"
 	"grinch/internal/experiments"
+	"grinch/internal/obs"
 )
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "campaign spec JSON file (alternative to a preset name)")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); results are identical for any value")
-		trials   = flag.Int("trials", 3, "trials per grid cell (presets only)")
-		budget   = flag.Uint64("budget", 1_000_000, "per-attack encryption budget (presets only)")
-		seed     = flag.Uint64("seed", 2021, "campaign seed (presets only)")
-		journal  = flag.String("journal", "", "checkpoint journal path; an existing journal resumes the campaign")
-		outPath  = flag.String("out", "", "JSON-lines result file (\"-\" for stdout)")
-		csvPath  = flag.String("csv", "", "CSV result file")
-		timing   = flag.Bool("timing", false, "include per-job duration/worker in -out records (breaks byte-determinism)")
-		quiet    = flag.Bool("quiet", false, "suppress the stderr progress ticker")
+		specPath  = flag.String("spec", "", "campaign spec JSON file (alternative to a preset name)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); results are identical for any value")
+		trials    = flag.Int("trials", 3, "trials per grid cell (presets only)")
+		budget    = flag.Uint64("budget", 1_000_000, "per-attack encryption budget (presets only)")
+		seed      = flag.Uint64("seed", 2021, "campaign seed (presets only)")
+		journal   = flag.String("journal", "", "checkpoint journal path; an existing journal resumes the campaign")
+		outPath   = flag.String("out", "", "JSON-lines result file (\"-\" for stdout)")
+		csvPath   = flag.String("csv", "", "CSV result file")
+		tracePath = flag.String("trace", "", "JSON-lines event-trace file (internal/obs format; render with traceview)")
+		timing    = flag.Bool("timing", false, "include per-job duration/worker in -out records (breaks byte-determinism)")
+		keepGoing = flag.Bool("keep-going", false, "exit zero even when jobs failed (failures are still logged and recorded)")
+		progress  = flag.Duration("progress", 500*time.Millisecond, "stderr progress-ticker interval")
+		debugAddr = flag.String("debug-addr", "", "serve expvar campaign metrics and net/http/pprof on this address (e.g. :6060)")
+		quiet     = flag.Bool("quiet", false, "suppress the stderr progress ticker")
 	)
 	flag.Parse()
 
@@ -68,12 +91,31 @@ func main() {
 		fatalf("%v", err)
 	}
 	agg := &campaign.Aggregator{}
-	sinks = append(sinks, agg)
+	fails := &failures{}
+	sinks = append(sinks, agg, fails)
+
+	var trace *obs.Writer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		trace = obs.NewWriter(f)
+		closers = append(closers, func() {
+			if err := trace.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: flushing trace: %v\n", err)
+			}
+			f.Close()
+		})
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	metrics := campaign.NewMetrics()
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, metrics)
+	}
 	var done64 atomic.Int64
 	opts := campaign.Options{
 		Workers: *workers,
@@ -84,11 +126,13 @@ func main() {
 			done64.Store(int64(done))
 		},
 	}
+	if trace != nil {
+		opts.Trace = trace
+	}
 
-	start := time.Now() //grinchvet:ignore wallclock progress/ETA display only
 	var stopTicker func()
-	if !*quiet {
-		stopTicker = startTicker(spec, metrics, &done64, start)
+	if !*quiet && *progress > 0 {
+		stopTicker = startTicker(spec, metrics, &done64, *workers, *progress)
 	}
 	rep, err := campaign.Run(ctx, spec, experiments.Execute, opts)
 	if stopTicker != nil {
@@ -97,6 +141,7 @@ func main() {
 	for _, c := range closers {
 		c()
 	}
+	fails.report()
 
 	switch {
 	case err == context.Canceled:
@@ -108,7 +153,50 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	printSummary(rep, agg, metrics)
+	printSummary(rep, agg, metrics, trace)
+	if len(fails.list) > 0 && !*keepGoing {
+		fmt.Fprintf(os.Stderr, "campaign %s: %d job(s) failed (use -keep-going to exit zero anyway)\n",
+			spec.Name, len(fails.list))
+		os.Exit(1)
+	}
+}
+
+// failures collects failed results — as a sink it also sees jobs whose
+// failure was replayed from the journal, which Report.Failed (executed
+// jobs only) misses.
+type failures struct {
+	list []campaign.Result
+}
+
+func (f *failures) Begin(campaign.Spec, int) error { return nil }
+
+func (f *failures) Write(r campaign.Result) error {
+	if r.Failed {
+		f.list = append(f.list, r)
+	}
+	return nil
+}
+
+func (f *failures) Close() error { return nil }
+
+// report logs each failed job once on stderr.
+func (f *failures) report() {
+	for _, r := range f.list {
+		fmt.Fprintf(os.Stderr, "campaign: job %d (%s) failed: %s\n", r.Job, r.Point, r.Err)
+	}
+}
+
+// serveDebug publishes the campaign metrics as the expvar "campaign"
+// variable and serves the default mux — /debug/vars (expvar) and
+// /debug/pprof (net/http/pprof) — on addr. Debugging telemetry only:
+// it never feeds back into results or traces.
+func serveDebug(addr string, m *campaign.Metrics) {
+	expvar.Publish("campaign", m)
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: debug server: %v\n", err)
+		}
+	}()
 }
 
 // loadSpec builds the campaign spec from -spec or a preset argument.
@@ -158,12 +246,16 @@ func buildSinks(outPath, csvPath string, timing bool) ([]campaign.Sink, []func()
 	return sinks, closers, nil
 }
 
-// startTicker reports progress + ETA on stderr twice a second until
-// stopped.
-func startTicker(spec campaign.Spec, m *campaign.Metrics, done *atomic.Int64, start time.Time) func() {
+// startTicker reports progress + ETA on stderr every interval until
+// stopped. The ETA derives from the metrics' per-job mean duration and
+// the worker count, so it stabilizes as soon as a few jobs finish.
+func startTicker(spec campaign.Spec, m *campaign.Metrics, done *atomic.Int64, workers int, interval time.Duration) func() {
 	total := spec.NumJobs()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	stop := make(chan struct{})
-	tick := time.NewTicker(500 * time.Millisecond)
+	tick := time.NewTicker(interval)
 	go func() {
 		defer tick.Stop()
 		for {
@@ -174,14 +266,12 @@ func startTicker(spec campaign.Spec, m *campaign.Metrics, done *atomic.Int64, st
 			case <-tick.C:
 				snap := m.Snapshot()
 				d := int(done.Load())
-				elapsed := time.Since(start) //grinchvet:ignore wallclock progress/ETA display only
 				line := fmt.Sprintf("\rcampaign %s: %d/%d jobs", spec.Name, d, total)
-				if executed := snap.JobsDone; executed > 0 {
-					rate := float64(executed) / elapsed.Seconds()
+				if snap.JobsDone > 0 && snap.JobMSMean > 0 {
 					remaining := total - d
-					eta := time.Duration(float64(remaining)/rate) * time.Second
-					line += fmt.Sprintf(" (%.1f jobs/s, queue %d, in-flight %d, ETA %v)",
-						rate, snap.QueueDepth, snap.InFlight, eta.Round(time.Second))
+					eta := time.Duration(float64(remaining)*snap.JobMSMean/float64(workers)) * time.Millisecond
+					line += fmt.Sprintf(" (%.1fms/job, queue %d, in-flight %d, ETA %v)",
+						snap.JobMSMean, snap.QueueDepth, snap.InFlight, eta.Round(time.Second))
 				}
 				fmt.Fprint(os.Stderr, line+"   ")
 			}
@@ -191,12 +281,16 @@ func startTicker(spec campaign.Spec, m *campaign.Metrics, done *atomic.Int64, st
 }
 
 // printSummary renders the per-cell aggregate table and run totals.
-func printSummary(rep campaign.Report, agg *campaign.Aggregator, m *campaign.Metrics) {
+func printSummary(rep campaign.Report, agg *campaign.Aggregator, m *campaign.Metrics, trace *obs.Writer) {
 	fmt.Printf("campaign %s: %d jobs (%d resumed from journal, %d failed) in %v\n",
 		rep.Spec.Name, rep.Total, rep.Skipped, rep.Failed, rep.Elapsed.Round(time.Millisecond))
 	snap := m.Snapshot()
-	fmt.Printf("  %d victim encryptions this run; per-job %.1fms mean, %.1fms max\n\n",
+	fmt.Printf("  %d victim encryptions this run; per-job %.1fms mean, %.1fms max\n",
 		snap.Encryptions, snap.JobMSMean, snap.JobMSMax)
+	if trace != nil {
+		fmt.Printf("  %d trace events recorded\n", trace.Count())
+	}
+	fmt.Println()
 	fmt.Printf("%-44s %8s %12s %12s %12s\n", "cell", "trials", "median", "min", "max")
 	for _, c := range agg.Cells() {
 		s := c.Summary()

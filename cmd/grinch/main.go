@@ -10,10 +10,18 @@
 //	grinch -platform mpsoc -mhz 50   # attack over the full MPSoC model
 //	grinch -first-round-only         # the Fig.3/Table I metric
 //	grinch -json                     # machine-readable result record
+//	grinch -trace run.trace.jsonl    # record the attack's event trace
 //
 // With -json the run emits a single JSON object on stdout in the same
 // schema as a campaign job result (internal/campaign.Result), so one-off
 // runs and campaign sweeps land in the same analysis pipeline.
+//
+// With -trace the attack's internal trajectory — encryption boundaries,
+// probe observations, candidate-set updates, segment recoveries — is
+// streamed as JSONL events (internal/obs format) to the given file;
+// render it with cmd/traceview. The trace carries encryption counters
+// and simulated time only, never wall-clock readings, so it is
+// byte-reproducible for a fixed seed.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"grinch/internal/campaign"
 	"grinch/internal/core"
 	"grinch/internal/gift"
+	"grinch/internal/obs"
 	"grinch/internal/oracle"
 	"grinch/internal/probe"
 	"grinch/internal/rng"
@@ -49,8 +58,25 @@ func main() {
 		threshold  = flag.Float64("threshold", 1.0, "candidate survival ratio (1 = strict intersection)")
 		verbose    = flag.Bool("v", false, "print per-segment elimination progress")
 		jsonOut    = flag.Bool("json", false, "emit one campaign-result JSON record instead of text")
+		tracePath  = flag.String("trace", "", "JSON-lines event-trace file (internal/obs format; render with traceview)")
 	)
 	flag.Parse()
+
+	var tracer obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		w := obs.NewWriter(f)
+		tracer = w
+		defer func() {
+			if err := w.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "grinch: flushing trace: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	r := rng.New(*seed)
 	var key bitutil.Word128
@@ -66,7 +92,7 @@ func main() {
 		key = bitutil.Word128FromBytes(arr)
 	}
 
-	ch, err := buildChannel(key, *platform, *primitive, *mhz, *probeRound, !*noFlush, *lineWords, r.Uint64())
+	ch, err := buildChannel(key, *platform, *primitive, *mhz, *probeRound, !*noFlush, *lineWords, r.Uint64(), tracer)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -75,6 +101,7 @@ func main() {
 		Seed:        r.Uint64(),
 		TotalBudget: *budget,
 		Threshold:   *threshold,
+		Tracer:      tracer,
 	}
 	if *threshold < 1 {
 		// Tolerant thresholds need a statistical floor before any
@@ -206,15 +233,20 @@ func emitJSON(r campaign.Result) {
 	fmt.Println(string(b))
 }
 
-func buildChannel(key bitutil.Word128, platform, primitive string, mhz uint64, probeRound int, flush bool, lineWords int, noiseSeed uint64) (probe.Channel, error) {
+func buildChannel(key bitutil.Word128, platform, primitive string, mhz uint64, probeRound int, flush bool, lineWords int, noiseSeed uint64, tracer obs.Tracer) (probe.Channel, error) {
 	switch platform {
 	case "oracle":
-		return oracle.New(key, oracle.Config{
+		o, err := oracle.New(key, oracle.Config{
 			ProbeRound: probeRound,
 			Flush:      flush,
 			LineWords:  lineWords,
 			Seed:       noiseSeed,
 		})
+		if err != nil {
+			return nil, err
+		}
+		o.SetTracer(tracer)
+		return o, nil
 	case "soc":
 		p := soc.DefaultParams(mhz)
 		p.CacheLineBytes = lineWords
@@ -226,11 +258,11 @@ func buildChannel(key bitutil.Word128, platform, primitive string, mhz uint64, p
 		default:
 			return nil, fmt.Errorf("unknown primitive %q (flush-reload, prime-probe)", primitive)
 		}
-		return &soc.PlatformChannel{P: soc.NewSingleSoC(key, p), LineBytes: lineWords}, nil
+		return &soc.PlatformChannel{P: soc.NewSingleSoC(key, p), LineBytes: lineWords, Tracer: tracer}, nil
 	case "mpsoc":
 		p := soc.DefaultParams(mhz)
 		p.CacheLineBytes = lineWords
-		return &soc.PlatformChannel{P: soc.NewMPSoC(key, p), LineBytes: lineWords}, nil
+		return &soc.PlatformChannel{P: soc.NewMPSoC(key, p), LineBytes: lineWords, Tracer: tracer}, nil
 	}
 	return nil, fmt.Errorf("unknown platform %q (oracle, soc, mpsoc)", platform)
 }

@@ -1,0 +1,91 @@
+// Command traceview renders recorded attack event traces (the JSONL
+// internal/obs format written by `grinch -trace` and `campaign -trace`)
+// into human-readable views.
+//
+// Usage:
+//
+//	traceview run.trace.jsonl            # convergence table + ASCII curves
+//	traceview -table run.trace.jsonl     # per-segment convergence table only
+//	traceview -curves run.trace.jsonl    # Fig. 3-style ASCII curves only
+//	traceview -csv run.trace.jsonl       # flat CSV of every curve point
+//	traceview -cache run.trace.jsonl     # per-job cache-activity totals
+//	campaign -trace - ... | traceview -  # read the trace from stdin
+//
+// Rendering is a pure function of the trace bytes: the same trace
+// always renders to the same output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"grinch/internal/obs"
+	"grinch/internal/obs/report"
+)
+
+func main() {
+	var (
+		tableOnly  = flag.Bool("table", false, "render only the per-segment convergence table")
+		curvesOnly = flag.Bool("curves", false, "render only the ASCII convergence curves")
+		csvOut     = flag.Bool("csv", false, "render every curve point as CSV")
+		cacheOut   = flag.Bool("cache", false, "render per-job cache-activity totals")
+	)
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fatalf("need exactly one trace file (\"-\" for stdin)")
+	}
+	events, err := load(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(events) == 0 {
+		fatalf("%s: trace holds no events", flag.Arg(0))
+	}
+
+	out := os.Stdout
+	switch {
+	case *csvOut:
+		err = report.WriteCurveCSV(out, report.Fold(events))
+	case *cacheOut:
+		sums := report.FoldCache(events)
+		if len(sums) == 0 {
+			fatalf("trace holds no cache_snapshot events (the ideal oracle channel emits none; soc/mpsoc and hierarchy channels do)")
+		}
+		err = report.WriteCacheTable(out, sums)
+	case *tableOnly:
+		err = report.WriteTable(out, report.Fold(events))
+	case *curvesOnly:
+		err = report.WriteCurves(out, report.Fold(events))
+	default:
+		segs := report.Fold(events)
+		if err = report.WriteTable(out, segs); err == nil {
+			fmt.Fprintln(out)
+			err = report.WriteCurves(out, segs)
+		}
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// load reads and decodes a JSONL trace ("-" = stdin).
+func load(path string) ([]obs.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return obs.ReadAll(r)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceview: "+format+"\n", args...)
+	os.Exit(1)
+}

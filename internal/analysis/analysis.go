@@ -145,9 +145,11 @@ func DefaultDeterministicPkgs() []string {
 		"internal/oracle",
 		"internal/campaign",
 		"internal/experiments",
+		"internal/obs",
 		"cmd/campaign",
 		"cmd/experiments",
 		"cmd/grinch",
+		"cmd/traceview",
 	}
 }
 

@@ -84,15 +84,39 @@ type Result struct {
 	Eviction bool
 }
 
-// Stats accumulates cache activity counters.
+// Stats accumulates cache activity counters. The counters feed the
+// observability layer's cache_snapshot events (internal/obs), so their
+// semantics are part of the trace contract:
+//
+//   - Evictions counts capacity evictions in Access (a full set
+//     displacing a valid victim line);
+//   - Flushes counts flush operations issued (one per FlushLine call,
+//     one per FlushAll), whether or not they found a resident line;
+//   - FlushedLines counts lines actually invalidated by those
+//     operations — the attacker-visible flush work.
 type Stats struct {
 	Accesses  uint64
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
 	Flushes   uint64
+	// FlushedLines counts resident lines invalidated by flushes.
+	FlushedLines uint64
 	// Cycles is the total latency charged across all operations.
 	Cycles uint64
+}
+
+// Add accumulates o's counters into s — for folding the per-session
+// stats of throwaway caches (one per platform session) into a running
+// total.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Flushes += o.Flushes
+	s.FlushedLines += o.FlushedLines
+	s.Cycles += o.Cycles
 }
 
 // HitRate returns Hits/Accesses, or 0 for an untouched cache.
@@ -245,6 +269,7 @@ func (c *Cache) FlushLine(addr uint64) uint64 {
 		l := &c.lines[base+w]
 		if l.valid && l.tag == tag {
 			l.valid = false
+			c.stats.FlushedLines++
 			c.policy.Invalidate(set, w)
 			break
 		}
@@ -274,6 +299,9 @@ func (c *Cache) FlushRange(addr, size uint64) uint64 {
 // cache" attacker capability).
 func (c *Cache) FlushAll() {
 	for i := range c.lines {
+		if c.lines[i].valid {
+			c.stats.FlushedLines++
+		}
 		c.lines[i] = line{}
 	}
 	c.policy.Reset(c.cfg.Sets, c.cfg.Ways)

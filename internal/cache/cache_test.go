@@ -239,6 +239,85 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Accesses: 1, Hits: 2, Misses: 3, Evictions: 4, Flushes: 5, FlushedLines: 6, Cycles: 7}
+	a.Add(Stats{Accesses: 10, Hits: 20, Misses: 30, Evictions: 40, Flushes: 50, FlushedLines: 60, Cycles: 70})
+	want := Stats{Accesses: 11, Hits: 22, Misses: 33, Evictions: 44, Flushes: 55, FlushedLines: 66, Cycles: 77}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+// TestFlushCountersDistinguishOpsFromWork pins the semantics of the
+// two flush counters feeding cache_snapshot trace events: Flushes
+// counts operations issued, FlushedLines counts lines actually
+// invalidated.
+func TestFlushCountersDistinguishOpsFromWork(t *testing.T) {
+	c := MustNew(smallConfig())
+	c.Access(0)
+	c.Access(64) // same set as 0, second way
+
+	// Flushing a non-resident line is an op with no work.
+	c.FlushLine(128)
+	if s := c.Stats(); s.Flushes != 1 || s.FlushedLines != 0 {
+		t.Fatalf("no-op flush: %+v", s)
+	}
+	// Flushing a resident line counts both.
+	c.FlushLine(0)
+	if s := c.Stats(); s.Flushes != 2 || s.FlushedLines != 1 {
+		t.Fatalf("resident flush: %+v", s)
+	}
+	// Re-flushing the now-absent line is an op with no work again.
+	c.FlushLine(0)
+	if s := c.Stats(); s.Flushes != 3 || s.FlushedLines != 1 {
+		t.Fatalf("double flush: %+v", s)
+	}
+	// FlushRange over both lines invalidates only the remaining one.
+	c.FlushRange(0, 128)
+	s := c.Stats()
+	if s.FlushedLines != 2 {
+		t.Fatalf("FlushRange flushed %d lines total, want 2: %+v", s.FlushedLines, s)
+	}
+}
+
+func TestFlushAllCountsResidentLines(t *testing.T) {
+	c := MustNew(smallConfig())
+	// Fill three distinct lines (sets 0 and 1).
+	c.Access(0)
+	c.Access(4)
+	c.Access(64)
+	before := c.Stats()
+	c.FlushAll()
+	s := c.Stats()
+	if got := s.FlushedLines - before.FlushedLines; got != 3 {
+		t.Fatalf("FlushAll invalidated %d lines, want 3", got)
+	}
+	if got := s.Flushes - before.Flushes; got != 1 {
+		t.Fatalf("FlushAll counted %d ops, want 1", got)
+	}
+	// Flushing the now-empty cache does no line work.
+	c.FlushAll()
+	if c.Stats().FlushedLines != s.FlushedLines {
+		t.Fatal("FlushAll of an empty cache reported flushed lines")
+	}
+}
+
+// TestEvictionCounterMatchesResults cross-checks the Evictions counter
+// against the per-access Result.Eviction reports.
+func TestEvictionCounterMatchesResults(t *testing.T) {
+	c := MustNew(smallConfig())
+	src := rng.New(3)
+	var want uint64
+	for i := 0; i < 2000; i++ {
+		if c.Access(uint64(src.Intn(256))).Eviction {
+			want++
+		}
+	}
+	if got := c.Stats().Evictions; got != want || want == 0 {
+		t.Fatalf("Evictions = %d, per-access reports = %d (want nonzero match)", got, want)
+	}
+}
+
 func TestResidencyNeverExceedsWays(t *testing.T) {
 	cfg := smallConfig()
 	c := MustNew(cfg)

@@ -32,6 +32,7 @@ package campaign
 import (
 	"fmt"
 
+	"grinch/internal/obs"
 	"grinch/internal/rng"
 )
 
@@ -141,12 +142,15 @@ func (r Result) Canonical() Result {
 	return r
 }
 
-// Executor runs one job and returns its measurement. Executors must be
-// pure functions of the job (all randomness drawn from Job.Seed) for
-// the determinism contract to hold, and must be safe for concurrent
-// calls. A panic inside an executor is recovered by the runner and
-// recorded as a failed result.
-type Executor func(Job) (Measurement, error)
+// Executor runs one job and returns its measurement. The tracer is the
+// job's private event collector (nil unless the run requested tracing);
+// executors thread it into the attack pipeline so a traced campaign
+// captures every job's internal trajectory without cross-job
+// interleaving. Executors must be pure functions of the job (all
+// randomness drawn from Job.Seed) for the determinism contract to hold,
+// and must be safe for concurrent calls. A panic inside an executor is
+// recovered by the runner and recorded as a failed result.
+type Executor func(Job, obs.Tracer) (Measurement, error)
 
 // DeriveSeed exposes the job-seed derivation so single-run tools (cmd/
 // grinch -json) can emit records whose seeds line up with a campaign's.

@@ -11,18 +11,25 @@ import (
 	"sync"
 	"testing"
 
+	"grinch/internal/obs"
 	"grinch/internal/rng"
 )
 
 // toyExec is a deterministic executor: every field of the measurement
 // is a pure function of the job seed, with a little seed-dependent CPU
-// work so scheduling actually interleaves.
-func toyExec(job Job) (Measurement, error) {
+// work so scheduling actually interleaves. A traced run gets a short
+// seed-determined event stream.
+func toyExec(job Job, tracer obs.Tracer) (Measurement, error) {
 	r := rng.New(job.Seed)
 	n := 100 + r.Intn(1000)
 	acc := uint64(0)
 	for i := 0; i < n*50; i++ {
 		acc += r.Uint64() >> 60
+	}
+	if tracer != nil {
+		tracer.Emit(obs.Event{Kind: obs.KindEncryptionStart, Enc: 1})
+		tracer.Emit(obs.Event{Kind: obs.KindCandidateUpdate, Enc: 1, Survivors: n % 16, Observations: uint64(n)})
+		tracer.Emit(obs.Event{Kind: obs.KindEncryptionEnd, Enc: 1})
 	}
 	return Measurement{Encryptions: uint64(n) + acc%2, DroppedOut: n > 1050, Correct: n%2 == 0}, nil
 }
@@ -141,6 +148,74 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestTraceDeterminismAcrossWorkerCounts extends the determinism
+// contract to the event trace: the JSONL trace bytes must be identical
+// for any worker count, and every event must carry its job's index so
+// per-job streams never interleave.
+func TestTraceDeterminismAcrossWorkerCounts(t *testing.T) {
+	traceToy := func(workers int) []byte {
+		var buf bytes.Buffer
+		w := obs.NewWriter(&buf)
+		_, err := Run(context.Background(), testSpec(), toyExec,
+			Options{Workers: workers, Trace: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	t1 := traceToy(1)
+	t8 := traceToy(8)
+	if !bytes.Equal(t1, t8) {
+		t.Fatal("trace JSONL not byte-identical between -workers=1 and -workers=8")
+	}
+	if bytes.Equal(traceToy(8), nil) {
+		t.Fatal("traced run produced no events")
+	}
+	events, err := obs.ReadAll(bytes.NewReader(t1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := testSpec().NumJobs()
+	if len(events) != 3*total {
+		t.Fatalf("trace holds %d events, want %d", len(events), 3*total)
+	}
+	for i, e := range events {
+		if want := i / 3; e.Job != want {
+			t.Fatalf("event %d stamped job %d, want %d (jobs out of index order)", i, e.Job, want)
+		}
+	}
+}
+
+// TestTraceSkipsJournalReplayedJobs pins the documented resume
+// semantics: replayed jobs were not re-executed, so they contribute no
+// events, and the trace of a resumed run covers only the remainder.
+func TestTraceSkipsJournalReplayedJobs(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "toy.journal")
+	if _, err := Run(context.Background(), testSpec(), toyExec,
+		Options{Workers: 2, Journal: journal}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := obs.NewWriter(&buf)
+	rep, err := Run(context.Background(), testSpec(), toyExec,
+		Options{Workers: 2, Journal: journal, Trace: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Executed != 0 {
+		t.Fatalf("replay executed %d jobs", rep.Executed)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("fully replayed run emitted %d trace bytes, want 0", buf.Len())
+	}
+}
+
 // TestCanonicalStripsExactlyTimingFields pins the determinism contract
 // to the Result type: Canonical must zero DurationNS and Worker and
 // nothing else, so a future field added to Result is deterministic by
@@ -203,14 +278,14 @@ func TestTimingNeverReachesDeterministicBytes(t *testing.T) {
 }
 
 func TestPanicBecomesFailedResult(t *testing.T) {
-	exec := func(job Job) (Measurement, error) {
+	exec := func(job Job, tr obs.Tracer) (Measurement, error) {
 		if job.Index == 7 {
 			panic("injected")
 		}
 		if job.Index == 9 {
 			return Measurement{}, fmt.Errorf("injected error")
 		}
-		return toyExec(job)
+		return toyExec(job, tr)
 	}
 	col := &Collector{}
 	rep, err := Run(context.Background(), testSpec(), exec, Options{Workers: 4, Sinks: []Sink{col}})
@@ -239,11 +314,11 @@ func TestJournalResume(t *testing.T) {
 	// Invocation log: which job indices actually executed, per run.
 	var mu sync.Mutex
 	executed := map[int]int{}
-	exec := func(job Job) (Measurement, error) {
+	exec := func(job Job, tr obs.Tracer) (Measurement, error) {
 		mu.Lock()
 		executed[job.Index]++
 		mu.Unlock()
-		return toyExec(job)
+		return toyExec(job, tr)
 	}
 
 	// First run: cancel once a third of the grid has completed.
@@ -325,11 +400,11 @@ func TestJournalToleratesTornTail(t *testing.T) {
 	}
 	var ran []int
 	var mu sync.Mutex
-	exec := func(job Job) (Measurement, error) {
+	exec := func(job Job, tr obs.Tracer) (Measurement, error) {
 		mu.Lock()
 		ran = append(ran, job.Index)
 		mu.Unlock()
-		return toyExec(job)
+		return toyExec(job, tr)
 	}
 	rep, err := Run(context.Background(), testSpec(), exec, Options{Workers: 2, Journal: journal})
 	if err != nil {

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"grinch/internal/obs"
 )
 
 // Options configure one campaign run.
@@ -24,6 +26,13 @@ type Options struct {
 	// Progress, if set, is called after every completed or replayed
 	// job with (jobs accounted for, grid size). Calls are serialized.
 	Progress func(done, total int)
+	// Trace, if set, enables event tracing: every job gets a private
+	// obs.Buffer (so parallel workers never interleave) and the buffered
+	// events reach this sink in job-index order, one WriteEvents call
+	// per traced job — byte-deterministic for any worker count. Jobs
+	// replayed from the journal were not re-executed and contribute no
+	// events.
+	Trace obs.Sink
 }
 
 // Report summarizes a finished (or interrupted) run.
@@ -97,7 +106,7 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 	}
 
 	jobCh := make(chan Job)
-	resCh := make(chan Result)
+	resCh := make(chan tracedResult)
 
 	// Dispatcher: feeds pending jobs until done or cancelled.
 	go func() {
@@ -120,7 +129,18 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 			defer wg.Done()
 			for job := range jobCh {
 				metrics.jobStarted()
-				resCh <- runJob(job, exec, id)
+				var buf *obs.Buffer
+				var tr obs.Tracer
+				if opts.Trace != nil {
+					buf = &obs.Buffer{Job: job.Index}
+					tr = buf
+				}
+				res := runJob(job, exec, id, tr)
+				var events []obs.Event
+				if buf != nil {
+					events = buf.Events
+				}
+				resCh <- tracedResult{res, events}
 			}
 		}(w)
 	}
@@ -135,6 +155,7 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 	// the resumed jobs first).
 	skipped := len(prior)
 	stash := prior
+	evStash := map[int][]obs.Event{}
 	next := 0
 	var sinkErr error
 	deliver := func() {
@@ -147,6 +168,13 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 			if err := sinks.Write(r); err != nil {
 				sinkErr = fmt.Errorf("campaign: sink write: %w", err)
 				return
+			}
+			if evs, ok := evStash[next]; ok {
+				delete(evStash, next)
+				if err := opts.Trace.WriteEvents(evs); err != nil {
+					sinkErr = fmt.Errorf("campaign: trace write: %w", err)
+					return
+				}
 			}
 			next++
 		}
@@ -161,7 +189,8 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 
 	rep := Report{Spec: spec, Total: len(jobs), Skipped: skipped}
 	var journalErr error
-	for res := range resCh {
+	for tr := range resCh {
+		res := tr.Result
 		metrics.jobFinished(res)
 		rep.Executed++
 		if res.Failed {
@@ -174,6 +203,9 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 			}
 		}
 		stash[res.Job] = res
+		if len(tr.events) > 0 {
+			evStash[res.Job] = tr.events
+		}
 		deliver()
 		progress(rep.Skipped + rep.Executed)
 	}
@@ -195,9 +227,16 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 	return rep, nil
 }
 
+// tracedResult pairs a completed job with the events its private
+// tracer buffered (nil when tracing is off).
+type tracedResult struct {
+	Result
+	events []obs.Event
+}
+
 // runJob executes one job, converting errors and panics into failed
 // results and stamping the execution metadata.
-func runJob(job Job, exec Executor, worker int) (res Result) {
+func runJob(job Job, exec Executor, worker int, tracer obs.Tracer) (res Result) {
 	start := time.Now() //grinchvet:ignore wallclock Result.DurationNS is excluded from canonical sink output (see Result.Canonical)
 	res = Result{Job: job.Index, Point: job.Point, Seed: job.Seed, Worker: worker}
 	defer func() {
@@ -207,7 +246,7 @@ func runJob(job Job, exec Executor, worker int) (res Result) {
 		}
 		res.DurationNS = time.Since(start).Nanoseconds() //grinchvet:ignore wallclock timing metadata, excluded from canonical sink output
 	}()
-	m, err := exec(job)
+	m, err := exec(job, tracer)
 	if err != nil {
 		res.Failed = true
 		res.Err = err.Error()

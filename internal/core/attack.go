@@ -7,6 +7,7 @@ import (
 
 	"grinch/internal/bitutil"
 	"grinch/internal/gift"
+	"grinch/internal/obs"
 	"grinch/internal/probe"
 	"grinch/internal/rng"
 )
@@ -41,6 +42,12 @@ type Config struct {
 	// Progress, when set, receives one event per finished segment
 	// elimination (CLI verbose output).
 	Progress ProgressFunc
+	// Tracer, when set, receives the attack's internal trajectory as
+	// typed events (internal/obs): one probe_observation plus one
+	// candidate_update per encryption and one segment_recovered per
+	// converged elimination. Nil (the default) disables tracing; the
+	// hot path then pays a single nil check per observation.
+	Tracer obs.Tracer
 }
 
 // ProgressFunc observes attack progress: one call per segment whose
@@ -112,6 +119,47 @@ func (a *Attacker) progress(cipher string, round, segment int, converged bool, l
 	}
 }
 
+// traceObservation emits the per-encryption pair of events — the raw
+// probe observation and the candidate state it produced. Only called
+// with a non-nil tracer, so the Candidates recomputation is free on the
+// untraced path.
+func traceObservation(tr obs.Tracer, enc uint64, cipher string, round, segment int, set probe.LineSet, elim *Eliminator) {
+	tr.Emit(obs.Event{
+		Kind:    obs.KindProbeObservation,
+		Enc:     enc,
+		Cipher:  cipher,
+		Round:   round,
+		Segment: segment,
+		Lines:   uint64(set),
+	})
+	cands := elim.Candidates()
+	tr.Emit(obs.Event{
+		Kind:         obs.KindCandidateUpdate,
+		Enc:          enc,
+		Cipher:       cipher,
+		Round:        round,
+		Segment:      segment,
+		Lines:        uint64(cands),
+		Survivors:    cands.Count(),
+		EntropyBits:  obs.EntropyBits(cands.Count()),
+		Observations: elim.Observations(),
+	})
+}
+
+// traceRecovered emits the segment_recovered terminal event for a
+// converged elimination.
+func traceRecovered(tr obs.Tracer, enc uint64, cipher string, round, segment, line int, observations uint64) {
+	tr.Emit(obs.Event{
+		Kind:         obs.KindSegmentRecovered,
+		Enc:          enc,
+		Cipher:       cipher,
+		Round:        round,
+		Segment:      segment,
+		Line:         line,
+		Observations: observations,
+	})
+}
+
 // TargetOutcome is the result of attacking one segment under one
 // crafting hypothesis.
 type TargetOutcome struct {
@@ -158,11 +206,17 @@ func (a *Attacker) attackTarget(spec TargetSpec, rks []gift.RoundKey64, confirm 
 	masked, _ := a.ch.(probe.MaskedChannel)
 	for elim.Observations() < a.cfg.MaxObservationsPerTarget && !a.overBudget() {
 		pt := spec.CraftPlaintext(a.rng, rks)
+		var set probe.LineSet
 		if masked != nil {
-			set, mask := masked.CollectMasked(pt, spec.Round)
-			elim.ObserveMasked(set, mask)
+			s, mask := masked.CollectMasked(pt, spec.Round)
+			elim.ObserveMasked(s, mask)
+			set = s
 		} else {
-			elim.Observe(a.ch.Collect(pt, spec.Round))
+			set = a.ch.Collect(pt, spec.Round)
+			elim.Observe(set)
+		}
+		if a.cfg.Tracer != nil {
+			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-64", spec.Round, spec.Segment, set, elim)
 		}
 
 		// Under strict intersection an empty candidate set is
@@ -199,6 +253,9 @@ func (a *Attacker) attackTarget(spec TargetSpec, rks []gift.RoundKey64, confirm 
 	}
 	if out.Converged {
 		out.Pairs = spec.PairsForLine(out.Line, a.lineWords)
+		if a.cfg.Tracer != nil {
+			traceRecovered(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-64", spec.Round, spec.Segment, out.Line, elim.Observations())
+		}
 	}
 	out.Observations = elim.Observations()
 	return out

@@ -81,7 +81,11 @@ func (a *Attacker128) attackTarget128(spec TargetSpec128, rks []gift.RoundKey128
 
 	for elim.Observations() < a.cfg.MaxObservationsPerTarget && !a.overBudget() {
 		pt := spec.CraftPlaintext(a.rng, rks)
-		elim.Observe(a.ch.Collect(pt, spec.Round))
+		set := a.ch.Collect(pt, spec.Round)
+		elim.Observe(set)
+		if a.cfg.Tracer != nil {
+			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-128", spec.Round, spec.Segment, set, elim)
+		}
 
 		if elim.Exhausted() && (a.cfg.Threshold == 1 || elim.Observations() >= a.cfg.MinObservations) {
 			out.Exhausted = true
@@ -114,6 +118,9 @@ func (a *Attacker128) attackTarget128(spec TargetSpec128, rks []gift.RoundKey128
 	}
 	if out.Converged {
 		out.Pairs = spec.PairsForLine(out.Line, a.lineWords)
+		if a.cfg.Tracer != nil {
+			traceRecovered(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-128", spec.Round, spec.Segment, out.Line, elim.Observations())
+		}
 	}
 	out.Observations = elim.Observations()
 	return out

@@ -8,6 +8,7 @@ import (
 	"grinch/internal/bitutil"
 	"grinch/internal/campaign"
 	"grinch/internal/core"
+	"grinch/internal/obs"
 	"grinch/internal/oracle"
 	"grinch/internal/rng"
 	"grinch/internal/soc"
@@ -120,20 +121,22 @@ func SpecByName(name string, opt Options) (campaign.Spec, error) {
 // Execute is the campaign.Executor for the experiment kinds above.
 // Every random decision in a job — victim key, channel noise, attacker
 // plaintexts — derives from Job.Seed, so a job's measurement does not
-// depend on which worker runs it or when.
-func Execute(job campaign.Job) (campaign.Measurement, error) {
+// depend on which worker runs it or when. The tracer (nil when the
+// campaign is untraced) is threaded into the channel and attacker so a
+// traced run records each job's full trajectory.
+func Execute(job campaign.Job, tracer obs.Tracer) (campaign.Measurement, error) {
 	switch job.Point.Kind {
 	case KindFirstRound:
-		return execFirstRound(job)
+		return execFirstRound(job, tracer)
 	case KindRecovery:
-		return execRecovery(job)
+		return execRecovery(job, tracer)
 	case KindRace:
-		return execRace(job)
+		return execRace(job, tracer)
 	}
 	return campaign.Measurement{}, fmt.Errorf("experiments: unknown job kind %q", job.Point.Kind)
 }
 
-func execFirstRound(job campaign.Job) (campaign.Measurement, error) {
+func execFirstRound(job campaign.Job, tracer obs.Tracer) (campaign.Measurement, error) {
 	r := rng.New(job.Seed)
 	key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
 	cfg := oracle.Config{
@@ -142,21 +145,22 @@ func execFirstRound(job campaign.Job) (campaign.Measurement, error) {
 		LineWords:  job.Point.LineWords,
 		Seed:       r.Uint64(),
 	}
-	n, ok := firstRoundEffort(key, cfg, job.Budget, r.Uint64())
+	n, ok := firstRoundEffort(key, cfg, job.Budget, r.Uint64(), tracer)
 	if !ok {
 		return campaign.Measurement{Encryptions: job.Budget, DroppedOut: true}, nil
 	}
 	return campaign.Measurement{Encryptions: n}, nil
 }
 
-func execRecovery(job campaign.Job) (campaign.Measurement, error) {
+func execRecovery(job campaign.Job, tracer obs.Tracer) (campaign.Measurement, error) {
 	r := rng.New(job.Seed)
 	key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
 	ch, err := oracle.New(key, oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1, Seed: r.Uint64()})
 	if err != nil {
 		return campaign.Measurement{}, err
 	}
-	a, err := core.NewAttacker(ch, core.Config{Seed: r.Uint64(), TotalBudget: job.Budget})
+	ch.SetTracer(tracer)
+	a, err := core.NewAttacker(ch, core.Config{Seed: r.Uint64(), TotalBudget: job.Budget, Tracer: tracer})
 	if err != nil {
 		return campaign.Measurement{}, err
 	}
@@ -167,7 +171,7 @@ func execRecovery(job campaign.Job) (campaign.Measurement, error) {
 	return campaign.Measurement{Encryptions: out.Encryptions, Correct: out.Key == key}, nil
 }
 
-func execRace(job campaign.Job) (campaign.Measurement, error) {
+func execRace(job campaign.Job, tracer obs.Tracer) (campaign.Measurement, error) {
 	r := rng.New(job.Seed)
 	key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
 	params := soc.DefaultParams(job.Point.MHz)
@@ -179,6 +183,13 @@ func execRace(job campaign.Job) (campaign.Measurement, error) {
 		p = soc.NewMPSoC(key, params)
 	default:
 		return campaign.Measurement{}, fmt.Errorf("experiments: unknown platform %q", job.Point.Platform)
+	}
+	if tracer != nil {
+		// One traced session records the race's observable shape — probe
+		// windows, sim time, cache activity. The metric itself comes from
+		// EarliestProbeRound's own session, so tracing cannot skew it.
+		ch := soc.PlatformChannel{P: p, LineBytes: params.CacheLineBytes, Tracer: tracer}
+		ch.Collect(0x0123456789abcdef, 1)
 	}
 	return campaign.Measurement{Round: p.EarliestProbeRound()}, nil
 }

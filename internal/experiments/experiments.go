@@ -22,6 +22,7 @@ import (
 	"grinch/internal/core"
 	"grinch/internal/countermeasure"
 	"grinch/internal/gift"
+	"grinch/internal/obs"
 	"grinch/internal/oracle"
 	"grinch/internal/rng"
 	"grinch/internal/stats"
@@ -101,12 +102,14 @@ func humanCount(v float64) string {
 // firstRoundEffort measures the encryptions needed to recover the first
 // 32 key bits (the paper's "attack the first round" metric) under the
 // given channel configuration. ok is false when the budget ran out.
-func firstRoundEffort(key bitutil.Word128, ocfg oracle.Config, budget, seed uint64) (uint64, bool) {
+// tracer (nil to disable) receives the attack's event stream.
+func firstRoundEffort(key bitutil.Word128, ocfg oracle.Config, budget, seed uint64, tracer obs.Tracer) (uint64, bool) {
 	ch, err := oracle.New(key, ocfg)
 	if err != nil {
 		panic(err)
 	}
-	a, err := core.NewAttacker(ch, core.Config{Seed: seed, TotalBudget: budget})
+	ch.SetTracer(tracer)
+	a, err := core.NewAttacker(ch, core.Config{Seed: seed, TotalBudget: budget, Tracer: tracer})
 	if err != nil {
 		panic(err)
 	}

@@ -215,7 +215,7 @@ func TestSpecByName(t *testing.T) {
 
 // TestExecuteRejectsUnknownKind keeps the executor's dispatch honest.
 func TestExecuteRejectsUnknownKind(t *testing.T) {
-	if _, err := Execute(campaign.Job{Point: campaign.Point{Kind: "nope"}}); err == nil {
+	if _, err := Execute(campaign.Job{Point: campaign.Point{Kind: "nope"}}, nil); err == nil {
 		t.Error("unknown kind accepted")
 	}
 }

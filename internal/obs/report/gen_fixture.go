@@ -1,0 +1,62 @@
+//go:build ignore
+
+// gen_fixture regenerates testdata/trace.jsonl, the recorded event
+// trace the golden tests render from. Run it from this directory:
+//
+//	go run gen_fixture.go
+//
+// The trace is two single-segment eliminations (segments 0 and 1 of
+// round 1, GIFT-64, 1-word lines) recorded into per-job buffers, the
+// way a 2-job traced campaign would lay them out. Keeping the fixture
+// checked in decouples the renderer's goldens from the attack
+// internals: an attack change only moves the goldens when the fixture
+// is deliberately regenerated.
+package main
+
+import (
+	"log"
+	"os"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/core"
+	"grinch/internal/obs"
+	"grinch/internal/oracle"
+	"grinch/internal/rng"
+)
+
+func main() {
+	f, err := os.Create("testdata/trace.jsonl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := obs.NewWriter(f)
+
+	r := rng.New(1)
+	key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
+	for job := 0; job < 2; job++ {
+		buf := &obs.Buffer{Job: job}
+		ch, err := oracle.New(key, oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1, Seed: uint64(job) + 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch.SetTracer(buf)
+		a, err := core.NewAttacker(ch, core.Config{Seed: uint64(job) + 13, Tracer: buf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := a.AttackTarget(core.NewTarget64(1, job), nil)
+		if !out.Converged {
+			log.Fatalf("job %d did not converge", job)
+		}
+		if err := w.WriteEvents(buf.Events); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d events", w.Count())
+}

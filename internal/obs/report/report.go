@@ -1,0 +1,284 @@
+// Package report folds raw event traces (internal/obs) into human- and
+// spreadsheet-readable views: per-segment convergence tables and
+// Fig. 3-style convergence curves, as ASCII or CSV. It is a pure
+// function of the event stream — rendering a trace twice produces
+// byte-identical output.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"grinch/internal/obs"
+)
+
+// SegmentKey identifies one elimination: a campaign job attacking one
+// segment of one round key of one cipher.
+type SegmentKey struct {
+	Job     int
+	Cipher  string
+	Round   int
+	Segment int
+}
+
+func (k SegmentKey) String() string {
+	c := k.Cipher
+	if c == "" {
+		c = "?"
+	}
+	return fmt.Sprintf("job %d %s r%d g%d", k.Job, c, k.Round, k.Segment)
+}
+
+// Point is one step of a segment's convergence trajectory.
+type Point struct {
+	// Enc is the channel's encryption counter at the observation.
+	Enc uint64
+	// Observations is the elimination's observation count.
+	Observations uint64
+	// Survivors is the candidate-line count after the observation.
+	Survivors int
+	// EntropyBits is the residual uncertainty, log2(Survivors).
+	EntropyBits float64
+}
+
+// Segment is one elimination's folded trajectory.
+type Segment struct {
+	Key SegmentKey
+	// Curve is the survivor trajectory in observation order.
+	Curve []Point
+	// Recovered is set when a segment_recovered event closed the
+	// elimination; Line is the recovered table line.
+	Recovered bool
+	Line      int
+	// Encryptions spans the elimination: last minus first encryption
+	// counter seen, plus one.
+	Encryptions uint64
+}
+
+// Fold groups a trace's candidate_update and segment_recovered events
+// by segment, in first-appearance order (which is deterministic: traces
+// are written in job-index order and, within a job, emission order).
+func Fold(events []obs.Event) []Segment {
+	index := map[SegmentKey]int{}
+	var segs []Segment
+	get := func(k SegmentKey) *Segment {
+		i, ok := index[k]
+		if !ok {
+			i = len(segs)
+			index[k] = i
+			segs = append(segs, Segment{Key: k})
+		}
+		return &segs[i]
+	}
+	for _, e := range events {
+		k := SegmentKey{Job: e.Job, Cipher: e.Cipher, Round: e.Round, Segment: e.Segment}
+		switch e.Kind {
+		case obs.KindCandidateUpdate:
+			s := get(k)
+			s.Curve = append(s.Curve, Point{
+				Enc:          e.Enc,
+				Observations: e.Observations,
+				Survivors:    e.Survivors,
+				EntropyBits:  e.EntropyBits,
+			})
+		case obs.KindSegmentRecovered:
+			s := get(k)
+			s.Recovered = true
+			s.Line = e.Line
+		}
+	}
+	for i := range segs {
+		if c := segs[i].Curve; len(c) > 0 {
+			segs[i].Encryptions = c[len(c)-1].Enc - c[0].Enc + 1
+		}
+	}
+	return segs
+}
+
+// WriteTable renders the per-segment convergence table: one row per
+// elimination with its observation count, encryption span, final
+// survivor count and recovered line.
+func WriteTable(w io.Writer, segs []Segment) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "JOB\tCIPHER\tROUND\tSEG\tOBS\tENC\tSURVIVORS\tENTROPY\tLINE")
+	for _, s := range segs {
+		obsN, surv, ent := uint64(0), -1, 0.0
+		if n := len(s.Curve); n > 0 {
+			last := s.Curve[n-1]
+			obsN, surv, ent = last.Observations, last.Survivors, last.EntropyBits
+		}
+		line := "-"
+		if s.Recovered {
+			line = strconv.Itoa(s.Line)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%.2f\t%s\n",
+			s.Key.Job, s.Key.Cipher, s.Key.Round, s.Key.Segment,
+			obsN, s.Encryptions, surv, ent, line)
+	}
+	return tw.Flush()
+}
+
+// WriteCurveCSV renders every segment's trajectory as flat CSV rows
+// (job, cipher, round, segment, enc, observations, survivors,
+// entropy_bits) for plotting — the Fig. 3-style convergence data.
+func WriteCurveCSV(w io.Writer, segs []Segment) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"job", "cipher", "round", "segment",
+		"enc", "observations", "survivors", "entropy_bits",
+	}); err != nil {
+		return err
+	}
+	for _, s := range segs {
+		for _, p := range s.Curve {
+			if err := cw.Write([]string{
+				strconv.Itoa(s.Key.Job), s.Key.Cipher,
+				strconv.Itoa(s.Key.Round), strconv.Itoa(s.Key.Segment),
+				strconv.FormatUint(p.Enc, 10),
+				strconv.FormatUint(p.Observations, 10),
+				strconv.Itoa(p.Survivors),
+				strconv.FormatFloat(p.EntropyBits, 'f', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// curveWidth and curveHeight bound the ASCII plot grid.
+const (
+	curveWidth  = 64
+	curveHeight = 8
+)
+
+// WriteCurveASCII renders one segment's survivor trajectory as a small
+// ASCII plot: x = observation index (compressed into curveWidth
+// columns), y = surviving candidates. The terminal companion to the
+// paper's Fig. 3 convergence behaviour.
+func WriteCurveASCII(w io.Writer, s Segment) error {
+	if len(s.Curve) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no candidate updates\n", s.Key)
+		return err
+	}
+	maxS := 0
+	for _, p := range s.Curve {
+		if p.Survivors > maxS {
+			maxS = p.Survivors
+		}
+	}
+	if maxS == 0 {
+		maxS = 1
+	}
+	width := len(s.Curve)
+	if width > curveWidth {
+		width = curveWidth
+	}
+	// grid[y][x]: y = 0 is the top row (maxS survivors).
+	grid := make([][]byte, curveHeight)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for x := 0; x < width; x++ {
+		// Sample the curve at the column's observation index.
+		i := x * (len(s.Curve) - 1) / maxInt(width-1, 1)
+		surv := s.Curve[i].Survivors
+		y := (curveHeight - 1) - surv*(curveHeight-1)/maxS
+		grid[y][x] = '*'
+	}
+	status := "open"
+	if s.Recovered {
+		status = fmt.Sprintf("recovered line %d", s.Line)
+	}
+	last := s.Curve[len(s.Curve)-1]
+	if _, err := fmt.Fprintf(w, "%s: %d obs, %d enc, %s\n",
+		s.Key, last.Observations, s.Encryptions, status); err != nil {
+		return err
+	}
+	for y, row := range grid {
+		label := "  "
+		switch y {
+		case 0:
+			label = fmt.Sprintf("%2d", maxS)
+		case curveHeight - 1:
+			label = " 0"
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "   +%s> obs 1..%d\n", strings.Repeat("-", width), last.Observations)
+	return err
+}
+
+// WriteCurves renders every segment's ASCII curve, separated by blank
+// lines.
+func WriteCurves(w io.Writer, segs []Segment) error {
+	for i, s := range segs {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := WriteCurveASCII(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheSummary aggregates the final cache_snapshot per job.
+type CacheSummary struct {
+	Job                                          int
+	Hits, Misses, Evictions, Flushes, FlushedLines uint64
+}
+
+// FoldCache extracts the last cache_snapshot of every job (snapshots
+// are cumulative, so the last one is the job's total), in ascending job
+// order.
+func FoldCache(events []obs.Event) []CacheSummary {
+	last := map[int]CacheSummary{}
+	var jobs []int
+	for _, e := range events {
+		if e.Kind != obs.KindCacheSnapshot {
+			continue
+		}
+		if _, seen := last[e.Job]; !seen {
+			jobs = append(jobs, e.Job)
+		}
+		last[e.Job] = CacheSummary{
+			Job: e.Job, Hits: e.Hits, Misses: e.Misses,
+			Evictions: e.Evictions, Flushes: e.Flushes, FlushedLines: e.FlushedLines,
+		}
+	}
+	sort.Ints(jobs)
+	out := make([]CacheSummary, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, last[j])
+	}
+	return out
+}
+
+// WriteCacheTable renders the per-job cache-activity totals.
+func WriteCacheTable(w io.Writer, sums []CacheSummary) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "JOB\tHITS\tMISSES\tEVICTIONS\tFLUSHES\tFLUSHED_LINES")
+	for _, s := range sums {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\n",
+			s.Job, s.Hits, s.Misses, s.Evictions, s.Flushes, s.FlushedLines)
+	}
+	return tw.Flush()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grinch/internal/obs"
+)
+
+// -update regenerates the golden files from testdata/trace.jsonl:
+//
+//	go test ./internal/obs/report -update
+//
+// The fixture itself is regenerated separately (go run gen_fixture.go),
+// so attack-internals changes never silently rewrite these goldens.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func loadFixture(t *testing.T) []obs.Event {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("fixture trace is empty")
+	}
+	return events
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs/report -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTableGolden(t *testing.T) {
+	segs := Fold(loadFixture(t))
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, segs); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.golden", buf.Bytes())
+}
+
+func TestCurvesGolden(t *testing.T) {
+	segs := Fold(loadFixture(t))
+	var buf bytes.Buffer
+	if err := WriteCurves(&buf, segs); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "curves.golden", buf.Bytes())
+}
+
+func TestCurveCSVGolden(t *testing.T) {
+	segs := Fold(loadFixture(t))
+	var buf bytes.Buffer
+	if err := WriteCurveCSV(&buf, segs); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "curves_csv.golden", buf.Bytes())
+}
+
+func TestFoldGroupsByJobAndSegment(t *testing.T) {
+	segs := Fold(loadFixture(t))
+	if len(segs) != 2 {
+		t.Fatalf("fixture folded into %d segments, want 2", len(segs))
+	}
+	for i, s := range segs {
+		if s.Key.Job != i || s.Key.Segment != i {
+			t.Fatalf("segment %d has key %+v", i, s.Key)
+		}
+		if !s.Recovered {
+			t.Fatalf("segment %d not recovered: %+v", i, s.Key)
+		}
+		if len(s.Curve) == 0 || s.Curve[len(s.Curve)-1].Survivors != 1 {
+			t.Fatalf("segment %d curve did not end at one survivor", i)
+		}
+	}
+}
+
+func TestRenderIsDeterministic(t *testing.T) {
+	events := loadFixture(t)
+	render := func() string {
+		var buf bytes.Buffer
+		segs := Fold(events)
+		_ = WriteTable(&buf, segs)
+		_ = WriteCurves(&buf, segs)
+		_ = WriteCurveCSV(&buf, segs)
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("rendering the same trace twice produced different bytes")
+	}
+}
+
+func TestFoldCacheTakesLastSnapshotPerJob(t *testing.T) {
+	events := []obs.Event{
+		{Kind: obs.KindCacheSnapshot, Job: 1, Hits: 1, Misses: 2},
+		{Kind: obs.KindCacheSnapshot, Job: 0, Hits: 5, Misses: 6, Evictions: 1},
+		{Kind: obs.KindCacheSnapshot, Job: 1, Hits: 10, Misses: 20, Flushes: 3, FlushedLines: 2},
+		{Kind: obs.KindEncryptionEnd, Job: 0, Enc: 9},
+	}
+	sums := FoldCache(events)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	if sums[0].Job != 0 || sums[0].Hits != 5 || sums[0].Evictions != 1 {
+		t.Fatalf("job 0 summary %+v", sums[0])
+	}
+	if sums[1].Job != 1 || sums[1].Hits != 10 || sums[1].FlushedLines != 2 {
+		t.Fatalf("job 1 summary lost the last snapshot: %+v", sums[1])
+	}
+	var buf bytes.Buffer
+	if err := WriteCacheTable(&buf, sums); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FLUSHED_LINES") {
+		t.Fatalf("cache table header missing: %q", buf.String())
+	}
+}

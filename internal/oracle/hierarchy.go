@@ -6,6 +6,7 @@ import (
 	"grinch/internal/bitutil"
 	"grinch/internal/cache"
 	"grinch/internal/gift"
+	"grinch/internal/obs"
 	"grinch/internal/probe"
 )
 
@@ -30,6 +31,7 @@ type HierOracle struct {
 	table       probe.TableLayout
 	lines       int
 	encryptions uint64
+	tracer      obs.Tracer
 }
 
 // NewHierarchyChannel builds the channel. The hierarchy's line size must
@@ -58,12 +60,26 @@ func (o *HierOracle) Lines() int { return o.lines }
 // Encryptions returns the victim encryption count.
 func (o *HierOracle) Encryptions() uint64 { return o.encryptions }
 
+// SetTracer attaches an event tracer (nil disables tracing). The
+// channel emits encryption boundaries plus one cache_snapshot of the
+// shared L2 per Collect — the level the attack's signal lives in.
+func (o *HierOracle) SetTracer(t obs.Tracer) { o.tracer = t }
+
 // Collect runs one victim encryption through the hierarchy with the
 // attacker's flush landing between rounds targetRound and targetRound+1
 // (or before the encryption when Flush is false), then probes the
 // shared L2.
 func (o *HierOracle) Collect(pt uint64, targetRound int) probe.LineSet {
 	o.encryptions++
+	if o.tracer != nil {
+		o.tracer.Emit(obs.Event{Kind: obs.KindEncryptionStart, Enc: o.encryptions, Cipher: "GIFT-64", Round: targetRound})
+		defer func() {
+			snap := probe.CacheSnapshot(o.hier.L2)
+			snap.Enc = o.encryptions
+			o.tracer.Emit(snap)
+			o.tracer.Emit(obs.Event{Kind: obs.KindEncryptionEnd, Enc: o.encryptions})
+		}()
+	}
 
 	first := 1
 	if o.cfg.Flush {

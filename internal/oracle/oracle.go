@@ -22,6 +22,7 @@ import (
 
 	"grinch/internal/bitutil"
 	"grinch/internal/gift"
+	"grinch/internal/obs"
 	"grinch/internal/probe"
 	"grinch/internal/rng"
 )
@@ -105,6 +106,7 @@ type Oracle struct {
 	encryptions uint64
 	// cursor cycles the evicted line in Evict+Time mode.
 	cursor int
+	events obs.Tracer
 }
 
 // New builds an oracle for a victim holding the given key.
@@ -157,10 +159,18 @@ func (o *Oracle) Encryptions() uint64 { return o.encryptions }
 // (nil for NewFromTracer victims); tests use it to verify recovery.
 func (o *Oracle) Cipher() *gift.Cipher64 { return o.cipher }
 
+// SetTracer attaches an event tracer (nil disables tracing). The
+// channel emits encryption_start/encryption_end per Collect.
+func (o *Oracle) SetTracer(t obs.Tracer) { o.events = t }
+
 // Collect runs one victim encryption of pt and returns the line set the
 // probe observes when the attack targets round targetRound.
 func (o *Oracle) Collect(pt uint64, targetRound int) probe.LineSet {
 	o.encryptions++
+	if o.events != nil {
+		o.events.Emit(obs.Event{Kind: obs.KindEncryptionStart, Enc: o.encryptions, Cipher: "GIFT-64", Round: targetRound})
+		defer o.events.Emit(obs.Event{Kind: obs.KindEncryptionEnd, Enc: o.encryptions})
+	}
 
 	first := 1
 	if o.cfg.Flush {

@@ -3,6 +3,7 @@ package oracle
 import (
 	"grinch/internal/bitutil"
 	"grinch/internal/gift"
+	"grinch/internal/obs"
 	"grinch/internal/probe"
 	"grinch/internal/rng"
 )
@@ -29,6 +30,7 @@ type Oracle128 struct {
 	noise       *rng.Source
 	lines       int
 	encryptions uint64
+	events      obs.Tracer
 }
 
 // New128 builds an oracle for a GIFT-128 victim holding the given key.
@@ -68,10 +70,17 @@ func (o *Oracle128) Encryptions() uint64 { return o.encryptions }
 // Cipher exposes the victim cipher when built with New128.
 func (o *Oracle128) Cipher() *gift.Cipher128 { return o.cipher }
 
+// SetTracer attaches an event tracer (nil disables tracing).
+func (o *Oracle128) SetTracer(t obs.Tracer) { o.events = t }
+
 // Collect runs one victim encryption and returns the observed line set
 // for an attack on targetRound.
 func (o *Oracle128) Collect(pt bitutil.Word128, targetRound int) probe.LineSet {
 	o.encryptions++
+	if o.events != nil {
+		o.events.Emit(obs.Event{Kind: obs.KindEncryptionStart, Enc: o.encryptions, Cipher: "GIFT-128", Round: targetRound})
+		defer o.events.Emit(obs.Event{Kind: obs.KindEncryptionEnd, Enc: o.encryptions})
+	}
 
 	first := 1
 	if o.cfg.Flush {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"grinch/internal/cache"
+	"grinch/internal/obs"
 	"grinch/internal/sim"
 )
 
@@ -146,6 +147,9 @@ type FlushReload struct {
 	// HitThreshold is the latency (cycles) at or below which a reload
 	// counts as a hit. Defaults to the cache's hit latency when zero.
 	HitThreshold uint64
+	// Tracer, when set, receives one cache_snapshot event per Reload
+	// with the cache's cumulative activity counters.
+	Tracer obs.Tracer
 }
 
 // threshold returns the classification boundary.
@@ -178,7 +182,31 @@ func (fr *FlushReload) Reload() (LineSet, uint64) {
 			set = set.Add(l)
 		}
 	}
+	if fr.Tracer != nil {
+		fr.Tracer.Emit(CacheSnapshot(fr.Cache))
+	}
 	return set, cycles
+}
+
+// CacheSnapshot folds a cache's cumulative counters into a
+// cache_snapshot event — the shared emission helper for every
+// cache-backed channel.
+func CacheSnapshot(c *cache.Cache) obs.Event {
+	return CacheSnapshotStats(c.Stats())
+}
+
+// CacheSnapshotStats is CacheSnapshot for a caller that holds the
+// counters rather than the cache — platform channels accumulate stats
+// across throwaway per-session caches.
+func CacheSnapshotStats(s cache.Stats) obs.Event {
+	return obs.Event{
+		Kind:         obs.KindCacheSnapshot,
+		Hits:         s.Hits,
+		Misses:       s.Misses,
+		Evictions:    s.Evictions,
+		Flushes:      s.Flushes,
+		FlushedLines: s.FlushedLines,
+	}
 }
 
 // PrimeProbe implements the Prime+Probe primitive: Prime fills the sets
@@ -192,6 +220,8 @@ type PrimeProbe struct {
 	Table        TableLayout
 	EvictionBase uint64
 	HitThreshold uint64
+	// Tracer, when set, receives one cache_snapshot event per Probe.
+	Tracer obs.Tracer
 }
 
 func (pp *PrimeProbe) threshold() uint64 {
@@ -256,6 +286,9 @@ func (pp *PrimeProbe) Probe() (LineSet, uint64) {
 		if missed {
 			set = set.Add(l)
 		}
+	}
+	if pp.Tracer != nil {
+		pp.Tracer.Emit(CacheSnapshot(pp.Cache))
 	}
 	return set, cycles
 }

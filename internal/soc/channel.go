@@ -1,6 +1,10 @@
 package soc
 
-import "grinch/internal/probe"
+import (
+	"grinch/internal/cache"
+	"grinch/internal/obs"
+	"grinch/internal/probe"
+)
 
 // Platform is the common surface of SingleSoC and MPSoC.
 type Platform interface {
@@ -33,6 +37,17 @@ type PlatformChannel struct {
 	P Platform
 	// LineBytes must match the platform's cache line size.
 	LineBytes int
+	// Tracer, when set, receives encryption boundaries, one
+	// probe_observation per probe window, a sim_time event carrying the
+	// virtual timestamp of the session's last probe — the sim-kernel
+	// clock, never wall time — and a cache_snapshot with the shared
+	// cache's counters accumulated across sessions.
+	Tracer obs.Tracer
+
+	// stats accumulates the per-session cache counters (each session
+	// runs on a fresh cache) so snapshots are cumulative, matching the
+	// persistent-cache channels.
+	stats cache.Stats
 }
 
 // Lines returns the number of cache lines the table spans.
@@ -48,8 +63,31 @@ func (c *PlatformChannel) Encryptions() uint64 { return c.P.Sessions() }
 // Probing stops once that round is fully covered, so campaigns scale
 // with the target depth rather than the full encryption length.
 func (c *PlatformChannel) Collect(pt uint64, targetRound int) probe.LineSet {
+	if c.Tracer != nil {
+		c.Tracer.Emit(obs.Event{Kind: obs.KindEncryptionStart, Enc: c.P.Sessions() + 1, Cipher: "GIFT-64", Round: targetRound})
+	}
 	sess := c.P.RunSessionUntil(pt, targetRound+1)
-	return windowsCovering(sess.Windows, targetRound+1)
+	set := windowsCovering(sess.Windows, targetRound+1)
+	c.stats.Add(sess.CacheStats)
+	if c.Tracer != nil {
+		enc := c.P.Sessions()
+		for _, w := range sess.Windows {
+			c.Tracer.Emit(obs.Event{
+				Kind:  obs.KindProbeObservation,
+				Enc:   enc,
+				Round: w.FirstRound,
+				Lines: uint64(w.Set),
+			})
+		}
+		if n := len(sess.Windows); n > 0 {
+			c.Tracer.Emit(obs.Event{Kind: obs.KindSimTime, Enc: enc, SimPS: uint64(sess.Windows[n-1].At)})
+		}
+		snap := probe.CacheSnapshotStats(c.stats)
+		snap.Enc = enc
+		c.Tracer.Emit(snap)
+		c.Tracer.Emit(obs.Event{Kind: obs.KindEncryptionEnd, Enc: enc})
+	}
+	return set
 }
 
 var _ probe.Channel = (*PlatformChannel)(nil)

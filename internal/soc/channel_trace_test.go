@@ -1,0 +1,63 @@
+package soc
+
+import (
+	"testing"
+
+	"grinch/internal/obs"
+)
+
+// TestPlatformChannelEmitsCumulativeCacheSnapshots pins the platform
+// channel's trace contract: every traced Collect ends with one
+// cache_snapshot whose counters accumulate across sessions (each
+// session runs on a fresh cache, so without accumulation the snapshots
+// would reset every encryption).
+func TestPlatformChannelEmitsCumulativeCacheSnapshots(t *testing.T) {
+	buf := &obs.Buffer{}
+	ch := &PlatformChannel{P: NewSingleSoC(testKey, DefaultParams(10)), LineBytes: 1, Tracer: buf}
+
+	ch.Collect(0x0123456789abcdef, 1)
+	ch.Collect(0xfedcba9876543210, 1)
+
+	var snaps []obs.Event
+	for _, ev := range buf.Events {
+		if ev.Kind == obs.KindCacheSnapshot {
+			snaps = append(snaps, ev)
+		}
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("got %d cache_snapshot events, want 2", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Enc != uint64(i+1) {
+			t.Errorf("snapshot %d stamped enc %d, want %d", i, s.Enc, i+1)
+		}
+		if s.Hits == 0 || s.Misses == 0 || s.Flushes == 0 {
+			t.Errorf("snapshot %d has zero counters: %+v", i, s)
+		}
+	}
+	if snaps[1].Hits <= snaps[0].Hits || snaps[1].Misses <= snaps[0].Misses || snaps[1].Flushes <= snaps[0].Flushes {
+		t.Fatalf("counters did not accumulate: first %+v, second %+v", snaps[0], snaps[1])
+	}
+
+	// Each traced encryption ends with snapshot then encryption_end.
+	for i := 1; i < len(buf.Events); i++ {
+		if buf.Events[i].Kind == obs.KindEncryptionEnd && buf.Events[i-1].Kind != obs.KindCacheSnapshot {
+			t.Fatalf("event %d before encryption_end is %q, want cache_snapshot", i-1, buf.Events[i-1].Kind)
+		}
+	}
+}
+
+// TestSessionCarriesCacheStats pins that platform sessions report the
+// per-session cache activity the channel accumulates.
+func TestSessionCarriesCacheStats(t *testing.T) {
+	s := NewSingleSoC(testKey, DefaultParams(10))
+	sess := s.RunSession(0x0123456789abcdef)
+	if sess.CacheStats.Accesses == 0 || sess.CacheStats.Misses == 0 {
+		t.Fatalf("single-SoC session cache stats empty: %+v", sess.CacheStats)
+	}
+	m := NewMPSoC(testKey, DefaultParams(10))
+	sess = m.RunSession(0x0123456789abcdef)
+	if sess.CacheStats.Accesses == 0 || sess.CacheStats.Misses == 0 {
+		t.Fatalf("MPSoC session cache stats empty: %+v", sess.CacheStats)
+	}
+}

@@ -141,6 +141,7 @@ func (m *MPSoC) runSession(pt uint64, probeUntilRound int) Session {
 	})
 
 	k.Run()
+	sess.CacheStats = cch.Stats()
 	return sess
 }
 

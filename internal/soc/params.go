@@ -19,6 +19,7 @@
 package soc
 
 import (
+	"grinch/internal/cache"
 	"grinch/internal/noc"
 	"grinch/internal/probe"
 	"grinch/internal/sim"
@@ -125,6 +126,10 @@ type ProbeWindow struct {
 type Session struct {
 	Ciphertext uint64
 	Windows    []ProbeWindow
+	// CacheStats holds the shared cache's activity counters for this
+	// session (each session runs on a fresh cache, so the counters are
+	// per-encryption; PlatformChannel accumulates them across sessions).
+	CacheStats cache.Stats
 }
 
 // windowsCovering returns the union of the line sets of all windows

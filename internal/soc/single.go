@@ -128,6 +128,7 @@ func (s *SingleSoC) runSession(pt uint64, probeUntilRound int) Session {
 	})
 
 	k.Run()
+	sess.CacheStats = cch.Stats()
 	return sess
 }
 
