@@ -11,6 +11,7 @@
 //	campaign -csv results.csv -quiet table2
 //	campaign -trace t1.trace.jsonl table1    # record the event trace
 //	campaign -debug-addr :6060 table1        # expvar metrics + pprof
+//	campaign -faults plans.json recovery     # sweep a structured-fault axis
 //
 // A campaign is a grid of independent attack jobs (probe round × flush
 // × line size × platform × clock × trial). Jobs run on a bounded
@@ -38,6 +39,12 @@
 //	 "budget":1000000,"line_words":[1,2,4,8],"flush":[true],
 //	 "probe_rounds":[1,2,3,4,5]}
 //
+// A spec may also carry "fault_plans" (an array of named internal/faults
+// plans, each one grid coordinate — the robustness-curve axis), "retry"
+// ({"attempts":N,"backoff_ps":M}) and "deadline_ps". -faults loads the
+// fault axis from a separate JSON file instead (one plan object or an
+// array of named plans) and overrides the spec's.
+//
 // Progress (with ETA) is reported on stderr every -progress interval;
 // the per-cell aggregate table lands on stdout after the run,
 // alongside any -out/-csv/-trace files.
@@ -59,6 +66,7 @@ import (
 
 	"grinch/internal/campaign"
 	"grinch/internal/experiments"
+	"grinch/internal/faults"
 	"grinch/internal/obs"
 )
 
@@ -74,6 +82,7 @@ func main() {
 		csvPath   = flag.String("csv", "", "CSV result file")
 		tracePath = flag.String("trace", "", "JSON-lines event-trace file (internal/obs format; render with traceview)")
 		timing    = flag.Bool("timing", false, "include per-job duration/worker in -out records (breaks byte-determinism)")
+		faultFile = flag.String("faults", "", "fault-plan JSON file (one plan object or an array of named plans); adds a fault axis to the grid")
 		keepGoing = flag.Bool("keep-going", false, "exit zero even when jobs failed (failures are still logged and recorded)")
 		progress  = flag.Duration("progress", 500*time.Millisecond, "stderr progress-ticker interval")
 		debugAddr = flag.String("debug-addr", "", "serve expvar campaign metrics and net/http/pprof on this address (e.g. :6060)")
@@ -84,6 +93,13 @@ func main() {
 	spec, err := loadSpec(*specPath, experiments.Options{Trials: *trials, Budget: *budget, Seed: *seed})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *faultFile != "" {
+		plans, err := loadFaultPlans(*faultFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.FaultPlans = plans
 	}
 
 	sinks, closers, err := buildSinks(*outPath, *csvPath, *timing)
@@ -199,6 +215,25 @@ func serveDebug(addr string, m *campaign.Metrics) {
 	}()
 }
 
+// loadFaultPlans reads a -faults file: one plan object or an array of
+// named plans, each becoming one value of the campaign's fault axis.
+// A lone unnamed plan gets the name "faulted" so it can serve as an
+// axis value.
+func loadFaultPlans(path string) ([]faults.Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := faults.ParsePlans(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(plans) == 1 && plans[0].Name == "" {
+		plans[0].Name = "faulted"
+	}
+	return plans, nil
+}
+
 // loadSpec builds the campaign spec from -spec or a preset argument.
 func loadSpec(path string, opt experiments.Options) (campaign.Spec, error) {
 	if path != "" {
@@ -302,7 +337,11 @@ func printSummary(rep campaign.Report, agg *campaign.Aggregator, m *campaign.Met
 			// Platform-race cells measure a round, not an effort.
 			median = fmt.Sprintf("round %d", c.Rounds[len(c.Rounds)/2])
 		}
-		fmt.Printf("%-44s %8d %12s %12.0f %12.0f\n", c.Point, len(c.Trials), median, s.Min, s.Max)
+		fmt.Printf("%-44s %8d %12s %12.0f %12.0f", c.Point, len(c.Trials), median, s.Min, s.Max)
+		if c.Partial > 0 {
+			fmt.Printf("  %d/%d partial, %d faults", c.Partial, len(c.Trials), c.Faults)
+		}
+		fmt.Println()
 	}
 }
 

@@ -11,6 +11,13 @@
 //	grinch -first-round-only         # the Fig.3/Table I metric
 //	grinch -json                     # machine-readable result record
 //	grinch -trace run.trace.jsonl    # record the attack's event trace
+//	grinch -faults plan.json         # inject structured channel faults
+//
+// With -faults the observation channel is wrapped in a deterministic
+// fault injector (internal/faults): the JSON plan declares burst noise,
+// dropped windows, probe misalignment and transient failures, and the
+// attack runs with quarantine and bounded restarts enabled so it
+// degrades to a partial result instead of failing outright.
 //
 // With -json the run emits a single JSON object on stdout in the same
 // schema as a campaign job result (internal/campaign.Result), so one-off
@@ -35,6 +42,7 @@ import (
 	"grinch/internal/bitutil"
 	"grinch/internal/campaign"
 	"grinch/internal/core"
+	"grinch/internal/faults"
 	"grinch/internal/gift"
 	"grinch/internal/obs"
 	"grinch/internal/oracle"
@@ -59,6 +67,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-segment elimination progress")
 		jsonOut    = flag.Bool("json", false, "emit one campaign-result JSON record instead of text")
 		tracePath  = flag.String("trace", "", "JSON-lines event-trace file (internal/obs format; render with traceview)")
+		faultsPath = flag.String("faults", "", "fault-plan JSON file (internal/faults schema); injects deterministic structured faults into the channel")
 	)
 	flag.Parse()
 
@@ -97,6 +106,21 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	var inj *faults.Injector
+	if *faultsPath != "" {
+		data, err := os.ReadFile(*faultsPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		plan, err := faults.ParsePlan(data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		inj = faults.NewInjector(ch, plan, *seed)
+		inj.SetTracer(tracer)
+		ch = inj
+	}
+
 	cfg := core.Config{
 		Seed:        r.Uint64(),
 		TotalBudget: *budget,
@@ -107,6 +131,14 @@ func main() {
 		// Tolerant thresholds need a statistical floor before any
 		// decision is meaningful.
 		cfg.MinObservations = 48
+	}
+	if inj != nil && !inj.Plan().Empty() {
+		// A faulted channel gets the robustness defaults: retry
+		// transient failures a few times, discard degenerate
+		// observations, and allow bounded per-target restarts.
+		cfg.Retry = core.RetryPolicy{MaxAttempts: 3, BackoffPS: 1000}
+		cfg.Quarantine = true
+		cfg.MaxRestarts = 2
 	}
 	if *verbose {
 		cfg.Progress = func(cipher string, round, segment int, converged bool, line int, obs uint64) {
@@ -140,6 +172,9 @@ func main() {
 	if *firstOnly {
 		record.Point.Kind = "first-round"
 	}
+	if inj != nil {
+		record.Point.Fault = inj.Plan().Name
+	}
 
 	kb := key.Bytes()
 	if !*jsonOut {
@@ -152,6 +187,10 @@ func main() {
 	if *firstOnly {
 		out, err := attacker.AttackRound(1, nil, nil)
 		record.DurationNS = time.Since(start).Nanoseconds() //grinchvet:ignore wallclock CLI wall-time reporting only
+		if inj != nil {
+			record.Faults = inj.Stats().Total()
+			record.Reason = core.Reason(err)
+		}
 		if err != nil {
 			if *jsonOut {
 				record.Encryptions = attacker.Encryptions()
@@ -189,8 +228,37 @@ func main() {
 		return
 	}
 
-	res, err := attacker.RecoverKey()
+	var (
+		res     core.KeyResult
+		partial *core.PartialResult
+	)
+	if inj != nil {
+		// Under fault injection the attack degrades gracefully: a failed
+		// run still reports which round keys and segments were recovered.
+		res, partial = attacker.RecoverKeyGraceful()
+		record.Faults = inj.Stats().Total()
+	} else {
+		res, err = attacker.RecoverKey()
+	}
 	record.DurationNS = time.Since(start).Nanoseconds() //grinchvet:ignore wallclock CLI wall-time reporting only
+	if partial != nil {
+		record.Encryptions = partial.Encryptions
+		record.DroppedOut = true
+		record.Partial = true
+		record.Reason = partial.Reason
+		record.ResolvedRounds = partial.ResolvedRounds
+		record.SegmentsConverged = partial.Converged()
+		record.Confidence = partial.Confidence()
+		if *jsonOut {
+			emitJSON(record)
+			os.Exit(1)
+		}
+		fmt.Printf("partial result:  %s after %d encryptions (%d faults injected)\n",
+			partial.Reason, partial.Encryptions, record.Faults)
+		fmt.Printf("                 %d round keys resolved; %d/%d segments of the next round converged (mean confidence %.2f)\n",
+			partial.ResolvedRounds, partial.Converged(), len(partial.Segments), partial.Confidence())
+		os.Exit(1)
+	}
 	if err != nil {
 		if *jsonOut {
 			record.Encryptions = attacker.Encryptions()

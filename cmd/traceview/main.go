@@ -9,6 +9,7 @@
 //	traceview -curves run.trace.jsonl    # Fig. 3-style ASCII curves only
 //	traceview -csv run.trace.jsonl       # flat CSV of every curve point
 //	traceview -cache run.trace.jsonl     # per-job cache-activity totals
+//	traceview -faults run.trace.jsonl    # per-job fault/retry/restart totals
 //	campaign -trace - ... | traceview -  # read the trace from stdin
 //
 // Rendering is a pure function of the trace bytes: the same trace
@@ -31,6 +32,7 @@ func main() {
 		curvesOnly = flag.Bool("curves", false, "render only the ASCII convergence curves")
 		csvOut     = flag.Bool("csv", false, "render every curve point as CSV")
 		cacheOut   = flag.Bool("cache", false, "render per-job cache-activity totals")
+		faultsOut  = flag.Bool("faults", false, "render per-job fault-injection and recovery totals")
 	)
 	flag.Parse()
 
@@ -49,6 +51,12 @@ func main() {
 	switch {
 	case *csvOut:
 		err = report.WriteCurveCSV(out, report.Fold(events))
+	case *faultsOut:
+		sums := report.FoldFaults(events)
+		if len(sums) == 0 {
+			fatalf("trace holds no fault_injected/retry/target_restarted events (run the attack with a -faults plan)")
+		}
+		err = report.WriteFaultTable(out, sums)
 	case *cacheOut:
 		sums := report.FoldCache(events)
 		if len(sums) == 0 {

@@ -143,6 +143,7 @@ func DefaultDeterministicPkgs() []string {
 		"internal/noc",
 		"internal/rtos",
 		"internal/oracle",
+		"internal/faults",
 		"internal/campaign",
 		"internal/experiments",
 		"internal/obs",

@@ -32,6 +32,7 @@ package campaign
 import (
 	"fmt"
 
+	"grinch/internal/faults"
 	"grinch/internal/obs"
 	"grinch/internal/rng"
 )
@@ -46,6 +47,9 @@ type Point struct {
 	LineWords  int    `json:"line_words,omitempty"`
 	Flush      bool   `json:"flush,omitempty"`
 	ProbeRound int    `json:"probe_round,omitempty"`
+	// Fault names the fault plan active for this coordinate ("" when
+	// the campaign injects no faults).
+	Fault string `json:"fault,omitempty"`
 	// Trial distinguishes repeated measurements of the same cell.
 	Trial int `json:"trial"`
 }
@@ -54,8 +58,8 @@ type Point struct {
 // except the trial index. Results sharing a CellKey aggregate into one
 // reported table cell.
 func (p Point) CellKey() string {
-	return fmt.Sprintf("%s|%s|%d|%d|%t|%d",
-		p.Kind, p.Platform, p.MHz, p.LineWords, p.Flush, p.ProbeRound)
+	return fmt.Sprintf("%s|%s|%d|%d|%t|%d|%s",
+		p.Kind, p.Platform, p.MHz, p.LineWords, p.Flush, p.ProbeRound, p.Fault)
 }
 
 // String renders the non-zero axes compactly for progress and summary
@@ -77,6 +81,9 @@ func (p Point) String() string {
 	if p.ProbeRound != 0 {
 		s += fmt.Sprintf(" pr=%d", p.ProbeRound)
 	}
+	if p.Fault != "" {
+		s += fmt.Sprintf(" fault=%s", p.Fault)
+	}
 	return s
 }
 
@@ -93,6 +100,16 @@ type Job struct {
 	Seed uint64
 	// Budget is the per-attack encryption cap inherited from the spec.
 	Budget uint64
+	// FaultPlan is the structured-fault plan for this job's channel
+	// (zero value: no injection). Executors wrap the job's channel in a
+	// faults.Injector seeded from the job seed when the plan is
+	// non-empty.
+	FaultPlan faults.Plan
+	// Retry is the transient-failure retry policy executors install on
+	// the attack core (zero value: fail fast).
+	Retry RetrySpec
+	// DeadlinePS bounds the job's simulated clock; 0 means unbounded.
+	DeadlinePS uint64
 }
 
 // Measurement is the experiment-specific payload of a result. Fields
@@ -109,6 +126,27 @@ type Measurement struct {
 	// Round is the earliest successfully probed round (platform-race
 	// kind only).
 	Round int `json:"round,omitempty"`
+
+	// Graceful-degradation fields, populated when an attack under fault
+	// injection ends without full recovery (or with it, for the
+	// fault-accounting counters). Partial marks a structured partial
+	// result as opposed to a hard executor error.
+	Partial bool `json:"partial,omitempty"`
+	// ResolvedRounds counts round keys fully recovered before the attack
+	// stopped.
+	ResolvedRounds int `json:"resolved_rounds,omitempty"`
+	// SegmentsConverged counts converged segments of the last attempted
+	// round.
+	SegmentsConverged int `json:"segments_converged,omitempty"`
+	// Confidence is the mean surviving-line confidence margin of the
+	// converged segments.
+	Confidence float64 `json:"confidence,omitempty"`
+	// Reason classifies why the attack stopped short (core.Reason).
+	Reason string `json:"reason,omitempty"`
+	// Retries counts transient-failure retries the attack core spent.
+	Retries uint64 `json:"retries,omitempty"`
+	// Faults counts faults the injector actually fired into the channel.
+	Faults uint64 `json:"faults,omitempty"`
 }
 
 // Result is one completed job: its coordinates, its measurement, and

@@ -3,6 +3,7 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"grinch/internal/faults"
 	"grinch/internal/obs"
 	"grinch/internal/rng"
 )
@@ -75,6 +77,87 @@ func TestExpansion(t *testing.T) {
 	again := spec.Jobs()
 	if !reflect.DeepEqual(jobs, again) {
 		t.Fatal("expansion is not deterministic")
+	}
+}
+
+// TestFaultAxisExpansion pins the fault-plan axis: each named plan is
+// one grid coordinate nested between probe rounds and trials, and every
+// job carries its plan plus the spec-level retry/deadline knobs.
+func TestFaultAxisExpansion(t *testing.T) {
+	spec := testSpec()
+	spec.FaultPlans = []faults.Plan{
+		{Name: "mild", Faults: []faults.Fault{{Kind: faults.KindDrop, Probability: 0.1}}},
+		{Name: "harsh", Faults: []faults.Fault{{Kind: faults.KindDrop, Probability: 0.5}}},
+	}
+	spec.Retry = &RetrySpec{Attempts: 3, BackoffPS: 100}
+	spec.DeadlinePS = 5000
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	base := testSpec().NumJobs()
+	jobs := spec.Jobs()
+	if len(jobs) != spec.NumJobs() || len(jobs) != 2*base {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), 2*base)
+	}
+	// Nesting: trials innermost, fault plans immediately outside them.
+	if jobs[0].Point.Fault != "mild" || jobs[3].Point.Fault != "harsh" || jobs[6].Point.Fault != "mild" {
+		t.Fatalf("fault axis not between probe rounds and trials: %v %v %v",
+			jobs[0].Point, jobs[3].Point, jobs[6].Point)
+	}
+	for i, j := range jobs {
+		if j.FaultPlan.Name != j.Point.Fault {
+			t.Fatalf("job %d carries plan %q for point fault %q", i, j.FaultPlan.Name, j.Point.Fault)
+		}
+		if j.Retry != (RetrySpec{Attempts: 3, BackoffPS: 100}) || j.DeadlinePS != 5000 {
+			t.Fatalf("job %d lost retry/deadline: %+v", i, j)
+		}
+		if j.Seed != rng.Derive(spec.Seed, uint64(i)) {
+			t.Fatalf("job %d seed not derived from index", i)
+		}
+	}
+	// The fault name is part of the cell identity, so the two plans'
+	// trials aggregate into distinct cells.
+	if jobs[0].Point.CellKey() == jobs[3].Point.CellKey() {
+		t.Fatal("fault plans share a cell key")
+	}
+	// The axis changes the fingerprint; an unfaulted spec keeps its
+	// pre-axis canonical JSON (pointer/omitempty fields stay absent).
+	if spec.Fingerprint() == testSpec().Fingerprint() {
+		t.Fatal("fault axis not part of the fingerprint")
+	}
+	b, err := json.Marshal(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"fault_plans", "retry", "deadline_ps"} {
+		if strings.Contains(string(b), key) {
+			t.Fatalf("unfaulted spec JSON mentions %q: %s", key, b)
+		}
+	}
+}
+
+// TestSpecValidatesFaultAxis covers the axis-level rejections: invalid
+// plans, missing and duplicate names, negative retry attempts.
+func TestSpecValidatesFaultAxis(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) {
+			s.FaultPlans = []faults.Plan{{Name: "x", Faults: []faults.Fault{{Kind: "gamma-ray"}}}}
+		},
+		func(s *Spec) {
+			s.FaultPlans = []faults.Plan{{Faults: []faults.Fault{{Kind: faults.KindDrop}}}}
+		},
+		func(s *Spec) {
+			s.FaultPlans = []faults.Plan{{Name: "a"}, {Name: "a"}}
+		},
+		func(s *Spec) { s.Retry = &RetrySpec{Attempts: -1} },
+	}
+	for i, mutate := range bad {
+		spec := testSpec()
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
 	}
 }
 
@@ -303,6 +386,61 @@ func TestPanicBecomesFailedResult(t *testing.T) {
 	}
 	if col.Results[8].Failed {
 		t.Fatal("healthy neighbor job marked failed")
+	}
+}
+
+// TestPanicsDontWedgeWorkerPool floods the pool with panicking jobs:
+// every job must still be delivered (the pool drains instead of
+// deadlocking), failures must be counted, and a journal resume must
+// replay the failed cells into the sinks — the record -keep-going's
+// exit decision is based on — without re-executing them.
+func TestPanicsDontWedgeWorkerPool(t *testing.T) {
+	exec := func(job Job, tr obs.Tracer) (Measurement, error) {
+		if job.Index%2 == 0 {
+			panic(fmt.Sprintf("boom %d", job.Index))
+		}
+		return toyExec(job, tr)
+	}
+	journal := filepath.Join(t.TempDir(), "toy.journal")
+	total := testSpec().NumJobs()
+	col := &Collector{}
+	rep, err := Run(context.Background(), testSpec(), exec,
+		Options{Workers: 4, Journal: journal, Sinks: []Sink{col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered != total || len(col.Results) != total {
+		t.Fatalf("delivered %d of %d results", rep.Delivered, total)
+	}
+	if rep.Failed != (total+1)/2 {
+		t.Fatalf("reported %d failures, want %d", rep.Failed, (total+1)/2)
+	}
+	for i, r := range col.Results {
+		if want := i%2 == 0; r.Failed != want {
+			t.Fatalf("job %d failed=%v, want %v (%+v)", i, r.Failed, want, r)
+		}
+	}
+
+	// Resume: nothing re-executes, and the sinks still see every failed
+	// cell, so a driver like cmd/campaign's -keep-going logic reaches
+	// the same exit decision on a resumed run.
+	col2 := &Collector{}
+	rep2, err := Run(context.Background(), testSpec(), exec,
+		Options{Workers: 4, Journal: journal, Sinks: []Sink{col2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Executed != 0 {
+		t.Fatalf("resume re-executed %d jobs", rep2.Executed)
+	}
+	failed := 0
+	for _, r := range col2.Results {
+		if r.Failed {
+			failed++
+		}
+	}
+	if failed != (total+1)/2 {
+		t.Fatalf("replay delivered %d failed cells, want %d", failed, (total+1)/2)
 	}
 }
 

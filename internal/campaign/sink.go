@@ -69,8 +69,9 @@ type CSVSink struct {
 
 var csvHeader = []string{
 	"job", "kind", "platform", "mhz", "line_words", "flush",
-	"probe_round", "trial", "seed", "encryptions", "dropped_out",
-	"correct", "round", "failed", "error",
+	"probe_round", "fault", "trial", "seed", "encryptions", "dropped_out",
+	"correct", "round", "partial", "resolved_rounds", "segments_converged",
+	"confidence", "reason", "retries", "faults", "failed", "error",
 }
 
 // Begin implements Sink.
@@ -86,10 +87,14 @@ func (s *CSVSink) Write(r Result) error {
 		strconv.Itoa(r.Job), p.Kind, p.Platform,
 		strconv.FormatUint(p.MHz, 10), strconv.Itoa(p.LineWords),
 		strconv.FormatBool(p.Flush), strconv.Itoa(p.ProbeRound),
-		strconv.Itoa(p.Trial), strconv.FormatUint(r.Seed, 10),
+		p.Fault, strconv.Itoa(p.Trial), strconv.FormatUint(r.Seed, 10),
 		strconv.FormatUint(r.Encryptions, 10),
 		strconv.FormatBool(r.DroppedOut), strconv.FormatBool(r.Correct),
-		strconv.Itoa(r.Round), strconv.FormatBool(r.Failed), r.Err,
+		strconv.Itoa(r.Round), strconv.FormatBool(r.Partial),
+		strconv.Itoa(r.ResolvedRounds), strconv.Itoa(r.SegmentsConverged),
+		strconv.FormatFloat(r.Confidence, 'g', -1, 64), r.Reason,
+		strconv.FormatUint(r.Retries, 10), strconv.FormatUint(r.Faults, 10),
+		strconv.FormatBool(r.Failed), r.Err,
 	})
 }
 
@@ -131,6 +136,10 @@ type CellAgg struct {
 	DroppedOut bool
 	Failed     int
 	Correct    int
+	// Partial counts trials that ended in graceful degradation rather
+	// than full recovery; Faults totals injected faults across trials.
+	Partial int
+	Faults  uint64
 }
 
 // Summary summarizes the per-trial encryption counts.
@@ -176,6 +185,10 @@ func (a *Aggregator) Write(r Result) error {
 	if r.Round != 0 {
 		cell.Rounds = append(cell.Rounds, r.Round)
 	}
+	if r.Partial {
+		cell.Partial++
+	}
+	cell.Faults += r.Faults
 	return nil
 }
 

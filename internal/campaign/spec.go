@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+
+	"grinch/internal/faults"
 )
 
 // Spec declares a campaign: an experiment kind, a reproducibility seed,
@@ -24,6 +26,28 @@ type Spec struct {
 	LineWords   []int    `json:"line_words,omitempty"`
 	Flush       []bool   `json:"flush,omitempty"`
 	ProbeRounds []int    `json:"probe_rounds,omitempty"`
+
+	// FaultPlans is the structured-fault axis (internal/faults): each
+	// named plan becomes one grid coordinate, so a single spec sweeps a
+	// robustness curve — e.g. the same attack under increasing burst
+	// intensity. Empty means no fault injection (a single unfaulted
+	// coordinate).
+	FaultPlans []faults.Plan `json:"fault_plans,omitempty"`
+	// Retry, when set, gives every job's attack core a bounded
+	// transient-failure retry policy. A pointer so older specs (and
+	// their journal fingerprints) are unaffected.
+	Retry *RetrySpec `json:"retry,omitempty"`
+	// DeadlinePS bounds each job's simulated clock (channel virtual
+	// time plus retry backoff) in picoseconds; 0 means no deadline.
+	DeadlinePS uint64 `json:"deadline_ps,omitempty"`
+}
+
+// RetrySpec is the job-level retry policy: how many times a transient
+// channel failure is retried per observation and the simulated backoff
+// charged before the first retry (doubling per attempt).
+type RetrySpec struct {
+	Attempts  int    `json:"attempts"`
+	BackoffPS uint64 `json:"backoff_ps,omitempty"`
 }
 
 // Validate rejects specs the runner cannot expand meaningfully.
@@ -33,6 +57,22 @@ func (s Spec) Validate() error {
 	}
 	if s.Trials < 0 {
 		return fmt.Errorf("campaign: spec %q has negative trials", s.Name)
+	}
+	if s.Retry != nil && s.Retry.Attempts < 0 {
+		return fmt.Errorf("campaign: spec %q has negative retry attempts", s.Name)
+	}
+	seen := map[string]bool{}
+	for i, p := range s.FaultPlans {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("campaign: spec %q fault plan %d: %w", s.Name, i, err)
+		}
+		if p.Name == "" {
+			return fmt.Errorf("campaign: spec %q fault plan %d needs a name (plans are grid-axis values)", s.Name, i)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("campaign: spec %q has duplicate fault plan name %q", s.Name, p.Name)
+		}
+		seen[p.Name] = true
 	}
 	return nil
 }
@@ -50,7 +90,7 @@ func (s Spec) NumJobs() int {
 	s = s.normalized()
 	return axisLen(len(s.Platforms)) * axisLen(len(s.MHz)) *
 		axisLen(len(s.LineWords)) * axisLen(len(s.Flush)) *
-		axisLen(len(s.ProbeRounds)) * s.Trials
+		axisLen(len(s.ProbeRounds)) * axisLen(len(s.FaultPlans)) * s.Trials
 }
 
 func axisLen(n int) int {
@@ -61,10 +101,10 @@ func axisLen(n int) int {
 }
 
 // Jobs expands the spec into its job list in canonical order: platforms
-// outermost, then clocks, line sizes, flush, probe rounds, and trials
-// innermost. The order — and therefore every job's Index and Seed — is
-// a pure function of the spec, which is what makes journals reusable
-// and results independent of scheduling.
+// outermost, then clocks, line sizes, flush, probe rounds, fault plans,
+// and trials innermost. The order — and therefore every job's Index and
+// Seed — is a pure function of the spec, which is what makes journals
+// reusable and results independent of scheduling.
 func (s Spec) Jobs() []Job {
 	s = s.normalized()
 	platforms := s.Platforms
@@ -87,6 +127,14 @@ func (s Spec) Jobs() []Job {
 	if len(probeRounds) == 0 {
 		probeRounds = []int{0}
 	}
+	plans := s.FaultPlans
+	if len(plans) == 0 {
+		plans = []faults.Plan{{}}
+	}
+	var retry RetrySpec
+	if s.Retry != nil {
+		retry = *s.Retry
+	}
 
 	jobs := make([]Job, 0, s.NumJobs())
 	idx := 0
@@ -95,22 +143,28 @@ func (s Spec) Jobs() []Job {
 			for _, lw := range lineWords {
 				for _, fl := range flush {
 					for _, pr := range probeRounds {
-						for t := 0; t < s.Trials; t++ {
-							jobs = append(jobs, Job{
-								Index: idx,
-								Point: Point{
-									Kind:       s.Kind,
-									Platform:   pl,
-									MHz:        f,
-									LineWords:  lw,
-									Flush:      fl,
-									ProbeRound: pr,
-									Trial:      t,
-								},
-								Seed:   DeriveSeed(s.Seed, idx),
-								Budget: s.Budget,
-							})
-							idx++
+						for _, plan := range plans {
+							for t := 0; t < s.Trials; t++ {
+								jobs = append(jobs, Job{
+									Index: idx,
+									Point: Point{
+										Kind:       s.Kind,
+										Platform:   pl,
+										MHz:        f,
+										LineWords:  lw,
+										Flush:      fl,
+										ProbeRound: pr,
+										Fault:      plan.Name,
+										Trial:      t,
+									},
+									Seed:       DeriveSeed(s.Seed, idx),
+									Budget:     s.Budget,
+									FaultPlan:  plan,
+									Retry:      retry,
+									DeadlinePS: s.DeadlinePS,
+								})
+								idx++
+							}
 						}
 					}
 				}

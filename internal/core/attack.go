@@ -48,6 +48,128 @@ type Config struct {
 	// converged elimination. Nil (the default) disables tracing; the
 	// hot path then pays a single nil check per observation.
 	Tracer obs.Tracer
+	// Retry bounds the handling of transient channel failures (errors
+	// exposing a Transient() bool method, e.g. faults.TransientError,
+	// surfaced through probe.FallibleChannel). The zero policy disables
+	// retries: the first channel error aborts the target.
+	Retry RetryPolicy
+	// Quarantine discards degenerate observations — an empty or
+	// all-lines set under a fully-examined probe mask — before they
+	// reach the eliminator. An empty set (a dropped probe window) would
+	// otherwise eliminate every candidate under strict intersection;
+	// an all-lines set carries no index information but still inflates
+	// every line's presence ratio. Quarantined observations consume
+	// budget (the victim encrypted) but not elimination statistics.
+	Quarantine bool
+	// MaxRestarts is how many times a direct (hypothesis-free) target
+	// elimination may restart after exhausting its candidate set under
+	// noise. Each restart discards the poisoned statistics and relaxes
+	// the survival threshold by RestartRelax (tolerating more false
+	// absences). Restarts never apply to hypothesis-testing
+	// eliminations, where exhaustion is the signal of a wrong parent
+	// hypothesis. 0 disables restarts.
+	MaxRestarts int
+	// RestartRelax is the multiplicative threshold relaxation per
+	// restart (default 0.9, floored at 0.5). A relaxed threshold below
+	// 1 also raises the observation floor to relaxedMinObservations so
+	// ratio decisions have statistical backing.
+	RestartRelax float64
+	// SimDeadlinePS aborts the attack once its simulated clock — the
+	// accrued retry backoff plus the channel's own virtual time when
+	// the channel exposes SimPS() uint64 — reaches this many
+	// picoseconds. 0 disables the deadline. Like TotalBudget this is a
+	// deterministic bound: it never reads the wall clock.
+	SimDeadlinePS uint64
+}
+
+// RetryPolicy bounds transient-channel-failure retries. Backoff is
+// charged to the attacker's simulated clock only — deterministic, no
+// sleeping — so retried runs stay byte-reproducible.
+type RetryPolicy struct {
+	// MaxAttempts is the retry cap per observation; 0 disables
+	// retrying (the first failure aborts the target).
+	MaxAttempts int
+	// BackoffPS is the simulated backoff before retry n:
+	// BackoffPS << min(n-1, 10) picoseconds (exponential, capped at
+	// 1024× so a long retry chain cannot overflow the virtual clock).
+	BackoffPS uint64
+}
+
+// backoff returns the simulated wait charged before the attempt-th
+// retry (1-based).
+func (p RetryPolicy) backoff(attempt int) uint64 {
+	if p.BackoffPS == 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 10 {
+		shift = 10
+	}
+	return p.BackoffPS << shift
+}
+
+// isTransient reports whether err marks a retryable channel failure.
+// The check is duck-typed (any error exposing Transient() bool) so the
+// attack core does not depend on the fault injector package.
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// relaxedMinObservations is the observation floor enforced once a
+// restart relaxes the threshold below 1: ratio-based exhaustion and
+// convergence decisions are meaningless without a statistical sample
+// (cmd/grinch applies the same floor for -threshold < 1).
+const relaxedMinObservations = 48
+
+// restartRelax returns the configured per-restart threshold
+// relaxation factor.
+func (c Config) restartRelax() float64 {
+	if c.RestartRelax == 0 {
+		return 0.9
+	}
+	return c.RestartRelax
+}
+
+// relaxThreshold applies one restart's relaxation, floored at 0.5 —
+// below that a line present in half the observations would survive,
+// and the elimination no longer distinguishes signal from coin flips.
+func relaxThreshold(t, relax float64) float64 {
+	t *= relax
+	if t < 0.5 {
+		t = 0.5
+	}
+	return t
+}
+
+// degenerate reports whether a fully-masked observation carries no
+// usable elimination information: empty (a dropped probe window —
+// destructive under strict intersection) or all-lines (uninformative,
+// inflates every presence ratio).
+func degenerate(set, mask probe.LineSet) bool {
+	return set == 0 || set == mask
+}
+
+// confidence scores a converged elimination by the separation between
+// the survivor's presence ratio and the strongest eliminated
+// competitor's: 1 means the survivor appeared in every observation
+// while every other line vanished; near 0 means the runner-up barely
+// lost.
+func confidence(elim *Eliminator, line, lines int) float64 {
+	var next float64
+	for l := 0; l < lines; l++ {
+		if l == line {
+			continue
+		}
+		if p := elim.PresenceRatio(l); p > next {
+			next = p
+		}
+	}
+	c := elim.PresenceRatio(line) - next
+	if c < 0 {
+		c = 0
+	}
+	return c
 }
 
 // ProgressFunc observes attack progress: one call per segment whose
@@ -74,12 +196,23 @@ var ErrBudgetExceeded = errors.New("core: encryption budget exceeded")
 // single line (saturated observation channel).
 var ErrNoConvergence = errors.New("core: candidate elimination did not converge")
 
+// ErrSimDeadline aborts an attack whose simulated clock (channel
+// virtual time plus accrued retry backoff) passed Config.SimDeadlinePS.
+var ErrSimDeadline = errors.New("core: simulated deadline exceeded")
+
 // Attacker drives the GRINCH attack over an observation channel.
 type Attacker struct {
 	ch        probe.Channel
 	cfg       Config
 	rng       *rng.Source
 	lineWords int
+	// backoffPS is the simulated time charged by transient-failure
+	// retries (RetryPolicy.BackoffPS accrual).
+	backoffPS uint64
+	// lastRound / lastStatuses record the most recent AttackRound pass's
+	// per-segment outcomes, feeding RecoverKeyGraceful's PartialResult.
+	lastRound    int
+	lastStatuses []SegmentStatus
 }
 
 // NewAttacker builds an attacker. The channel's line count must divide
@@ -110,6 +243,66 @@ func (a *Attacker) Encryptions() uint64 { return a.ch.Encryptions() }
 // overBudget reports whether the total budget is exhausted.
 func (a *Attacker) overBudget() bool {
 	return a.cfg.TotalBudget > 0 && a.ch.Encryptions() >= a.cfg.TotalBudget
+}
+
+// SimPS returns the attack's simulated clock in picoseconds: the
+// accrued retry backoff plus the channel's own virtual time when the
+// channel exposes SimPS() uint64 (platform channels do).
+func (a *Attacker) SimPS() uint64 {
+	ps := a.backoffPS
+	if s, ok := a.ch.(interface{ SimPS() uint64 }); ok {
+		ps += s.SimPS()
+	}
+	return ps
+}
+
+// overDeadline reports whether the simulated deadline has passed.
+func (a *Attacker) overDeadline() bool {
+	return a.cfg.SimDeadlinePS > 0 && a.SimPS() >= a.cfg.SimDeadlinePS
+}
+
+// collectRetry performs one observation, retrying transient channel
+// failures under the configured RetryPolicy. It returns the observed
+// set, the mask of lines actually examined, the number of recovered
+// transient failures, and the terminal error once retries are
+// exhausted, the failure is not transient, or the backoff pushed the
+// simulated clock past the deadline.
+func (a *Attacker) collectRetry(pt uint64, spec TargetSpec) (set, mask probe.LineSet, retries uint64, err error) {
+	full := probe.FullSet(a.ch.Lines())
+	if masked, ok := a.ch.(probe.MaskedChannel); ok {
+		s, m := masked.CollectMasked(pt, spec.Round)
+		return s, m, 0, nil
+	}
+	fc, ok := a.ch.(probe.FallibleChannel)
+	if !ok {
+		return a.ch.Collect(pt, spec.Round), full, 0, nil
+	}
+	for attempt := 0; ; attempt++ {
+		s, cerr := fc.CollectErr(pt, spec.Round)
+		if cerr == nil {
+			return s, full, retries, nil
+		}
+		if !isTransient(cerr) || attempt >= a.cfg.Retry.MaxAttempts {
+			return 0, full, retries, cerr
+		}
+		retries++
+		wait := a.cfg.Retry.backoff(attempt + 1)
+		a.backoffPS += wait
+		if a.cfg.Tracer != nil {
+			a.cfg.Tracer.Emit(obs.Event{
+				Kind:    obs.KindRetry,
+				Enc:     a.ch.Encryptions(),
+				Cipher:  "GIFT-64",
+				Round:   spec.Round,
+				Segment: spec.Segment,
+				Attempt: attempt + 1,
+				SimPS:   wait,
+			})
+		}
+		if a.overDeadline() {
+			return 0, full, retries, ErrSimDeadline
+		}
+	}
 }
 
 // progress emits a ProgressFunc event if one is configured.
@@ -179,6 +372,23 @@ type TargetOutcome struct {
 	// target cannot produce: a noise line outlasted every other line by
 	// chance, which also indicates a wrong hypothesis.
 	Infeasible bool
+	// Restarts is how many threshold-relaxing restarts the elimination
+	// consumed (Config.MaxRestarts; direct targets only).
+	Restarts int
+	// Retries counts transient channel failures recovered under the
+	// retry policy.
+	Retries uint64
+	// Quarantined counts degenerate observations discarded before the
+	// eliminator (Config.Quarantine).
+	Quarantined uint64
+	// Confidence scores a converged elimination in [0,1]: the
+	// survivor's presence-ratio separation from the strongest
+	// eliminated competitor (0 when not converged).
+	Confidence float64
+	// ChannelErr is the terminal channel failure that aborted the
+	// elimination: retries exhausted, a non-transient error, or
+	// ErrSimDeadline. Nil otherwise.
+	ChannelErr error
 }
 
 // AttackTarget runs paper Steps 1-4 for one target: craft plaintexts,
@@ -191,30 +401,82 @@ func (a *Attacker) AttackTarget(spec TargetSpec, rks []gift.RoundKey64) TargetOu
 	return a.attackTarget(spec, rks, false)
 }
 
-// attackTarget optionally confirms a convergence by persistence: when a
-// crafting hypothesis is under test, a noise line can survive every
-// observation by chance and fake a convergence, so the surviving line
-// must additionally stay the sole candidate for an adaptively-chosen
-// number of extra observations before it is believed.
+// attackTarget optionally confirms a convergence by persistence (see
+// eliminateTarget) and, for direct (hypothesis-free) targets, restarts
+// an exhausted elimination up to Config.MaxRestarts times with a
+// relaxed survival threshold: under bursty noise a false absence on
+// the true line poisons a strict intersection permanently, and the
+// only recovery is to discard the statistics and tolerate more
+// absences. Hypothesis-testing eliminations never restart — there,
+// exhaustion is the signal that the parent hypothesis is wrong.
 func (a *Attacker) attackTarget(spec TargetSpec, rks []gift.RoundKey64, confirm bool) TargetOutcome {
-	elim := NewEliminator(a.ch.Lines(), a.cfg.Threshold)
+	threshold := a.cfg.Threshold
+	minObs := a.cfg.MinObservations
+	out := a.eliminateTarget(spec, rks, confirm, threshold, minObs)
+	for out.Exhausted && !confirm && out.ChannelErr == nil &&
+		out.Restarts < a.cfg.MaxRestarts && !a.overBudget() && !a.overDeadline() {
+		threshold = relaxThreshold(threshold, a.cfg.restartRelax())
+		if threshold < 1 && minObs < relaxedMinObservations {
+			minObs = relaxedMinObservations
+		}
+		restarts := out.Restarts + 1
+		if a.cfg.Tracer != nil {
+			a.cfg.Tracer.Emit(obs.Event{
+				Kind:      obs.KindTargetRestarted,
+				Enc:       a.ch.Encryptions(),
+				Cipher:    "GIFT-64",
+				Round:     spec.Round,
+				Segment:   spec.Segment,
+				Attempt:   restarts,
+				Threshold: threshold,
+			})
+		}
+		prev := out
+		out = a.eliminateTarget(spec, rks, confirm, threshold, minObs)
+		out.Restarts = restarts
+		out.Observations += prev.Observations
+		out.Retries += prev.Retries
+		out.Quarantined += prev.Quarantined
+	}
+	return out
+}
+
+// eliminateTarget is one elimination pass: craft plaintexts, collect
+// probes (with retries), fold observations in, and stop on
+// convergence, exhaustion, infeasibility, budget, deadline, or channel
+// failure. When confirm is set, a convergence must additionally
+// persist as the sole candidate for an adaptively-chosen number of
+// extra observations before it is believed — a noise line can survive
+// every observation by chance and fake a convergence under a wrong
+// crafting hypothesis.
+func (a *Attacker) eliminateTarget(spec TargetSpec, rks []gift.RoundKey64, confirm bool, threshold float64, minObs uint64) TargetOutcome {
+	elim := NewEliminator(a.ch.Lines(), threshold)
 	feasible := spec.FeasibleLines(a.lineWords)
+	full := probe.FullSet(a.ch.Lines())
 	out := TargetOutcome{Spec: spec, Line: -1}
 	var confirmLeft uint64
 	confirming := false
 
-	masked, _ := a.ch.(probe.MaskedChannel)
-	for elim.Observations() < a.cfg.MaxObservationsPerTarget && !a.overBudget() {
-		pt := spec.CraftPlaintext(a.rng, rks)
-		var set probe.LineSet
-		if masked != nil {
-			s, mask := masked.CollectMasked(pt, spec.Round)
-			elim.ObserveMasked(s, mask)
-			set = s
-		} else {
-			set = a.ch.Collect(pt, spec.Round)
-			elim.Observe(set)
+	// tries bounds loop iterations rather than eliminator observations:
+	// quarantined observations consume budget (the victim encrypted)
+	// without advancing the eliminator, and must not loop forever.
+	for tries := uint64(0); tries < a.cfg.MaxObservationsPerTarget && !a.overBudget(); tries++ {
+		if a.overDeadline() {
+			out.ChannelErr = ErrSimDeadline
+			break
 		}
+		pt := spec.CraftPlaintext(a.rng, rks)
+		set, mask, retries, err := a.collectRetry(pt, spec)
+		out.Retries += retries
+		if err != nil {
+			out.ChannelErr = err
+			break
+		}
+		if a.cfg.Quarantine && mask == full && degenerate(set, mask) {
+			out.Quarantined++
+			continue
+		}
+		elim.ObserveMasked(set, mask)
 		if a.cfg.Tracer != nil {
 			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-64", spec.Round, spec.Segment, set, elim)
 		}
@@ -222,11 +484,11 @@ func (a *Attacker) attackTarget(spec TargetSpec, rks []gift.RoundKey64, confirm 
 		// Under strict intersection an empty candidate set is
 		// definitive at any point; with a tolerant threshold it is only
 		// meaningful once enough observations have accumulated.
-		if elim.Exhausted() && (a.cfg.Threshold == 1 || elim.Observations() >= a.cfg.MinObservations) {
+		if elim.Exhausted() && (threshold == 1 || elim.Observations() >= minObs) {
 			out.Exhausted = true
 			break
 		}
-		line, ok := elim.Converged(a.cfg.MinObservations)
+		line, ok := elim.Converged(minObs)
 		if !ok {
 			confirming = false
 			continue
@@ -253,6 +515,7 @@ func (a *Attacker) attackTarget(spec TargetSpec, rks []gift.RoundKey64, confirm 
 	}
 	if out.Converged {
 		out.Pairs = spec.PairsForLine(out.Line, a.lineWords)
+		out.Confidence = confidence(elim, out.Line, a.ch.Lines())
 		if a.cfg.Tracer != nil {
 			traceRecovered(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-64", spec.Round, spec.Segment, out.Line, elim.Observations())
 		}
@@ -391,6 +654,8 @@ func (a *Attacker) AttackRound(t int, resolved []gift.RoundKey64, prevCands *[16
 
 	out := RoundOutcome{Round: t}
 	start := a.ch.Encryptions()
+	a.lastRound = t
+	a.lastStatuses = a.lastStatuses[:0]
 
 	// confirmed[seg] holds the proven pair for segment seg of round key
 	// t-1; -1 = not yet proven.
@@ -409,6 +674,7 @@ func (a *Attacker) AttackRound(t int, resolved []gift.RoundKey64, prevCands *[16
 			// (or this is round 1 and sources are plaintext segments).
 			o := a.AttackTarget(spec, resolved[:max(t-1, 0)])
 			a.progress("GIFT-64", t, g, o.Converged, o.Line, o.Observations)
+			a.lastStatuses = append(a.lastStatuses, statusFor(t, g, o.Converged, o.Line, o.Observations, o.Restarts, o.Retries, o.Confidence))
 			if !o.Converged {
 				return out, a.targetErr(spec, o)
 			}
@@ -437,6 +703,7 @@ func (a *Attacker) AttackRound(t int, resolved []gift.RoundKey64, prevCands *[16
 		}
 
 		won := false
+		var last TargetOutcome
 		for _, combo := range cartesian(options) {
 			pairs := a.baselinePairs(prevCands, &confirmed)
 			for i, j := range enumPos {
@@ -445,8 +712,14 @@ func (a *Attacker) AttackRound(t int, resolved []gift.RoundKey64, prevCands *[16
 			rkPrev := roundKeyFromPairs(t-1, pairs)
 			rks := append(append([]gift.RoundKey64{}, resolved[:t-2]...), rkPrev)
 			o := a.attackTarget(spec, rks, true)
+			last = o
 			if !o.Converged {
+				if o.ChannelErr != nil {
+					a.lastStatuses = append(a.lastStatuses, statusFor(t, g, false, -1, o.Observations, o.Restarts, o.Retries, 0))
+					return out, fmt.Errorf("core: round %d segment %d: %w", t, g, o.ChannelErr)
+				}
 				if a.overBudget() {
+					a.lastStatuses = append(a.lastStatuses, statusFor(t, g, false, -1, o.Observations, o.Restarts, o.Retries, 0))
 					return out, ErrBudgetExceeded
 				}
 				continue
@@ -461,6 +734,7 @@ func (a *Attacker) AttackRound(t int, resolved []gift.RoundKey64, prevCands *[16
 			won = true
 			break
 		}
+		a.lastStatuses = append(a.lastStatuses, statusFor(t, g, won, last.Line, last.Observations, last.Restarts, last.Retries, last.Confidence))
 		if !won {
 			a.progress("GIFT-64", t, g, false, -1, 0)
 			return out, fmt.Errorf("core: round %d segment %d: no crafting hypothesis converged (%w)", t, g, ErrNoConvergence)
@@ -500,6 +774,9 @@ func (a *Attacker) baselinePairs(prevCands *[16][]uint8, confirmed *[16]int8) [1
 }
 
 func (a *Attacker) targetErr(spec TargetSpec, o TargetOutcome) error {
+	if o.ChannelErr != nil {
+		return fmt.Errorf("core: round %d segment %d: %w", spec.Round, spec.Segment, o.ChannelErr)
+	}
 	if a.overBudget() {
 		return ErrBudgetExceeded
 	}
@@ -543,6 +820,13 @@ type KeyResult struct {
 // fifth disambiguation pass when the cache line hides index bits) and
 // reassembles the 128-bit master key from the four recovered round keys.
 func (a *Attacker) RecoverKey() (KeyResult, error) {
+	res, _, err := a.recoverKey()
+	return res, err
+}
+
+// recoverKey is RecoverKey's body, additionally returning the round
+// keys resolved before any failure (RecoverKeyGraceful's input).
+func (a *Attacker) recoverKey() (KeyResult, []gift.RoundKey64, error) {
 	var res KeyResult
 	start := a.ch.Encryptions()
 
@@ -552,12 +836,12 @@ func (a *Attacker) RecoverKey() (KeyResult, error) {
 	t := 1
 	for len(resolved) < 4 {
 		if t > 8 {
-			return res, fmt.Errorf("core: no resolution after %d round passes", passes)
+			return res, resolved, fmt.Errorf("core: no resolution after %d round passes", passes)
 		}
 		passes++
 		out, err := a.AttackRound(t, resolved, pending)
 		if err != nil {
-			return res, err
+			return res, resolved, err
 		}
 		if pending != nil {
 			resolved = append(resolved, roundKeyFromPairs(t-1, out.ConfirmedPrev))
@@ -579,7 +863,25 @@ func (a *Attacker) RecoverKey() (KeyResult, error) {
 	res.Key = AssembleKey(res.RoundKeys)
 	res.Encryptions = a.ch.Encryptions() - start
 	res.RoundsAttacked = passes
-	return res, nil
+	return res, resolved, nil
+}
+
+// RecoverKeyGraceful runs the full attack but degrades failures into a
+// structured PartialResult instead of an error: every segment of the
+// failing round pass reports its own status (converged line,
+// observations, restarts, retries, confidence), segments never reached
+// are padded as unattempted, and Reason classifies why the attack
+// stopped. A nil PartialResult means full recovery and the KeyResult
+// is complete.
+func (a *Attacker) RecoverKeyGraceful() (KeyResult, *PartialResult) {
+	start := a.ch.Encryptions()
+	res, resolved, err := a.recoverKey()
+	if err == nil {
+		return res, nil
+	}
+	p := newPartialResult("GIFT-64", len(resolved), err, a.ch.Encryptions()-start)
+	p.fillSegments(a.lastStatuses, a.lastRound, gift.Segments64)
+	return res, p
 }
 
 // AssembleKey rebuilds the master key from the first four round keys:

@@ -5,6 +5,7 @@ import (
 
 	"grinch/internal/bitutil"
 	"grinch/internal/gift"
+	"grinch/internal/obs"
 	"grinch/internal/probe"
 	"grinch/internal/rng"
 )
@@ -17,12 +18,26 @@ type Channel128 interface {
 	Encryptions() uint64
 }
 
+// FallibleChannel128 mirrors probe.FallibleChannel for GIFT-128
+// channels: CollectErr reports probe failures (retryable when the
+// error exposes `Transient() bool`) instead of degrading them.
+type FallibleChannel128 interface {
+	Channel128
+	CollectErr(pt bitutil.Word128, targetRound int) (probe.LineSet, error)
+}
+
 // Attacker128 drives the GRINCH attack against a GIFT-128 victim.
 type Attacker128 struct {
 	ch        Channel128
 	cfg       Config
 	rng       *rng.Source
 	lineWords int
+	// backoffPS, lastRound and lastStatuses mirror Attacker's
+	// robustness bookkeeping (retry clock and graceful-degradation
+	// statuses).
+	backoffPS    uint64
+	lastRound    int
+	lastStatuses []SegmentStatus
 }
 
 // NewAttacker128 builds a GIFT-128 attacker.
@@ -47,6 +62,54 @@ func (a *Attacker128) overBudget() bool {
 	return a.cfg.TotalBudget > 0 && a.ch.Encryptions() >= a.cfg.TotalBudget
 }
 
+// SimPS mirrors Attacker.SimPS.
+func (a *Attacker128) SimPS() uint64 {
+	ps := a.backoffPS
+	if s, ok := a.ch.(interface{ SimPS() uint64 }); ok {
+		ps += s.SimPS()
+	}
+	return ps
+}
+
+func (a *Attacker128) overDeadline() bool {
+	return a.cfg.SimDeadlinePS > 0 && a.SimPS() >= a.cfg.SimDeadlinePS
+}
+
+// collectRetry128 mirrors Attacker.collectRetry (no masked-channel
+// variant exists for GIFT-128).
+func (a *Attacker128) collectRetry128(pt bitutil.Word128, spec TargetSpec128) (set probe.LineSet, retries uint64, err error) {
+	fc, ok := a.ch.(FallibleChannel128)
+	if !ok {
+		return a.ch.Collect(pt, spec.Round), 0, nil
+	}
+	for attempt := 0; ; attempt++ {
+		s, cerr := fc.CollectErr(pt, spec.Round)
+		if cerr == nil {
+			return s, retries, nil
+		}
+		if !isTransient(cerr) || attempt >= a.cfg.Retry.MaxAttempts {
+			return 0, retries, cerr
+		}
+		retries++
+		wait := a.cfg.Retry.backoff(attempt + 1)
+		a.backoffPS += wait
+		if a.cfg.Tracer != nil {
+			a.cfg.Tracer.Emit(obs.Event{
+				Kind:    obs.KindRetry,
+				Enc:     a.ch.Encryptions(),
+				Cipher:  "GIFT-128",
+				Round:   spec.Round,
+				Segment: spec.Segment,
+				Attempt: attempt + 1,
+				SimPS:   wait,
+			})
+		}
+		if a.overDeadline() {
+			return 0, retries, ErrSimDeadline
+		}
+	}
+}
+
 func (a *Attacker128) observableShift() int {
 	s := 0
 	for w := a.lineWords; w > 1; w >>= 1 {
@@ -64,6 +127,11 @@ type TargetOutcome128 struct {
 	Converged    bool
 	Exhausted    bool
 	Infeasible   bool
+	Restarts     int
+	Retries      uint64
+	Quarantined  uint64
+	Confidence   float64
+	ChannelErr   error
 }
 
 // AttackTarget128 runs the crafted-elimination loop for one GIFT-128
@@ -73,25 +141,72 @@ func (a *Attacker128) AttackTarget128(spec TargetSpec128, rks []gift.RoundKey128
 }
 
 func (a *Attacker128) attackTarget128(spec TargetSpec128, rks []gift.RoundKey128, confirm bool) TargetOutcome128 {
-	elim := NewEliminator(a.ch.Lines(), a.cfg.Threshold)
+	threshold := a.cfg.Threshold
+	minObs := a.cfg.MinObservations
+	out := a.eliminateTarget128(spec, rks, confirm, threshold, minObs)
+	for out.Exhausted && !confirm && out.ChannelErr == nil &&
+		out.Restarts < a.cfg.MaxRestarts && !a.overBudget() && !a.overDeadline() {
+		threshold = relaxThreshold(threshold, a.cfg.restartRelax())
+		if threshold < 1 && minObs < relaxedMinObservations {
+			minObs = relaxedMinObservations
+		}
+		restarts := out.Restarts + 1
+		if a.cfg.Tracer != nil {
+			a.cfg.Tracer.Emit(obs.Event{
+				Kind:      obs.KindTargetRestarted,
+				Enc:       a.ch.Encryptions(),
+				Cipher:    "GIFT-128",
+				Round:     spec.Round,
+				Segment:   spec.Segment,
+				Attempt:   restarts,
+				Threshold: threshold,
+			})
+		}
+		prev := out
+		out = a.eliminateTarget128(spec, rks, confirm, threshold, minObs)
+		out.Restarts = restarts
+		out.Observations += prev.Observations
+		out.Retries += prev.Retries
+		out.Quarantined += prev.Quarantined
+	}
+	return out
+}
+
+// eliminateTarget128 mirrors Attacker.eliminateTarget.
+func (a *Attacker128) eliminateTarget128(spec TargetSpec128, rks []gift.RoundKey128, confirm bool, threshold float64, minObs uint64) TargetOutcome128 {
+	elim := NewEliminator(a.ch.Lines(), threshold)
 	feasible := spec.FeasibleLines(a.lineWords)
+	full := probe.FullSet(a.ch.Lines())
 	out := TargetOutcome128{Spec: spec, Line: -1}
 	var confirmLeft uint64
 	confirming := false
 
-	for elim.Observations() < a.cfg.MaxObservationsPerTarget && !a.overBudget() {
+	for tries := uint64(0); tries < a.cfg.MaxObservationsPerTarget && !a.overBudget(); tries++ {
+		if a.overDeadline() {
+			out.ChannelErr = ErrSimDeadline
+			break
+		}
 		pt := spec.CraftPlaintext(a.rng, rks)
-		set := a.ch.Collect(pt, spec.Round)
+		set, retries, err := a.collectRetry128(pt, spec)
+		out.Retries += retries
+		if err != nil {
+			out.ChannelErr = err
+			break
+		}
+		if a.cfg.Quarantine && degenerate(set, full) {
+			out.Quarantined++
+			continue
+		}
 		elim.Observe(set)
 		if a.cfg.Tracer != nil {
 			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-128", spec.Round, spec.Segment, set, elim)
 		}
 
-		if elim.Exhausted() && (a.cfg.Threshold == 1 || elim.Observations() >= a.cfg.MinObservations) {
+		if elim.Exhausted() && (threshold == 1 || elim.Observations() >= minObs) {
 			out.Exhausted = true
 			break
 		}
-		line, ok := elim.Converged(a.cfg.MinObservations)
+		line, ok := elim.Converged(minObs)
 		if !ok {
 			confirming = false
 			continue
@@ -118,6 +233,7 @@ func (a *Attacker128) attackTarget128(spec TargetSpec128, rks []gift.RoundKey128
 	}
 	if out.Converged {
 		out.Pairs = spec.PairsForLine(out.Line, a.lineWords)
+		out.Confidence = confidence(elim, out.Line, a.ch.Lines())
 		if a.cfg.Tracer != nil {
 			traceRecovered(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-128", spec.Round, spec.Segment, out.Line, elim.Observations())
 		}
@@ -196,6 +312,8 @@ func (a *Attacker128) AttackRound128(t int, resolved []gift.RoundKey128, prevCan
 
 	out := RoundOutcome128{Round: t}
 	start := a.ch.Encryptions()
+	a.lastRound = t
+	a.lastStatuses = a.lastStatuses[:0]
 
 	var confirmed [32]int8
 	for i := range confirmed {
@@ -208,7 +326,11 @@ func (a *Attacker128) AttackRound128(t int, resolved []gift.RoundKey128, prevCan
 
 		if prevCands == nil {
 			o := a.AttackTarget128(spec, resolved[:max(t-1, 0)])
+			a.lastStatuses = append(a.lastStatuses, statusFor(t, g, o.Converged, o.Line, o.Observations, o.Restarts, o.Retries, o.Confidence))
 			if !o.Converged {
+				if o.ChannelErr != nil {
+					return out, fmt.Errorf("core: round %d segment %d: %w", t, g, o.ChannelErr)
+				}
 				if a.overBudget() {
 					return out, ErrBudgetExceeded
 				}
@@ -235,6 +357,7 @@ func (a *Attacker128) AttackRound128(t int, resolved []gift.RoundKey128, prevCan
 		}
 
 		won := false
+		var last TargetOutcome128
 		for _, combo := range cartesian(options) {
 			var pairs [32]uint8
 			for seg := 0; seg < 32; seg++ {
@@ -250,8 +373,14 @@ func (a *Attacker128) AttackRound128(t int, resolved []gift.RoundKey128, prevCan
 			rkPrev := roundKeyFromPairs128(t-1, pairs)
 			rks := append(append([]gift.RoundKey128{}, resolved[:t-2]...), rkPrev)
 			o := a.attackTarget128(spec, rks, true)
+			last = o
 			if !o.Converged {
+				if o.ChannelErr != nil {
+					a.lastStatuses = append(a.lastStatuses, statusFor(t, g, false, -1, o.Observations, o.Restarts, o.Retries, 0))
+					return out, fmt.Errorf("core: round %d segment %d: %w", t, g, o.ChannelErr)
+				}
 				if a.overBudget() {
+					a.lastStatuses = append(a.lastStatuses, statusFor(t, g, false, -1, o.Observations, o.Restarts, o.Retries, 0))
 					return out, ErrBudgetExceeded
 				}
 				continue
@@ -263,6 +392,7 @@ func (a *Attacker128) AttackRound128(t int, resolved []gift.RoundKey128, prevCan
 			won = true
 			break
 		}
+		a.lastStatuses = append(a.lastStatuses, statusFor(t, g, won, last.Line, last.Observations, last.Restarts, last.Retries, last.Confidence))
 		if !won {
 			return out, fmt.Errorf("core: round %d segment %d: no crafting hypothesis converged (%w)", t, g, ErrNoConvergence)
 		}
@@ -293,6 +423,11 @@ type KeyResult128 struct {
 // bits in just two rounds (64 per round), so two passes suffice — three
 // when wide lines force a disambiguation pass.
 func (a *Attacker128) RecoverKey128() (KeyResult128, error) {
+	res, _, err := a.recoverKey128()
+	return res, err
+}
+
+func (a *Attacker128) recoverKey128() (KeyResult128, []gift.RoundKey128, error) {
 	var res KeyResult128
 	start := a.ch.Encryptions()
 
@@ -302,12 +437,12 @@ func (a *Attacker128) RecoverKey128() (KeyResult128, error) {
 	t := 1
 	for len(resolved) < 2 {
 		if t > 6 {
-			return res, fmt.Errorf("core: no resolution after %d round passes", passes)
+			return res, resolved, fmt.Errorf("core: no resolution after %d round passes", passes)
 		}
 		passes++
 		out, err := a.AttackRound128(t, resolved, pending)
 		if err != nil {
-			return res, err
+			return res, resolved, err
 		}
 		if pending != nil {
 			resolved = append(resolved, roundKeyFromPairs128(t-1, out.ConfirmedPrev))
@@ -329,7 +464,21 @@ func (a *Attacker128) RecoverKey128() (KeyResult128, error) {
 	res.Key = AssembleKey128(res.RoundKeys)
 	res.Encryptions = a.ch.Encryptions() - start
 	res.RoundsAttacked = passes
-	return res, nil
+	return res, resolved, nil
+}
+
+// RecoverKey128Graceful mirrors Attacker.RecoverKeyGraceful: failures
+// degrade into a structured PartialResult instead of an error. A nil
+// PartialResult means full recovery.
+func (a *Attacker128) RecoverKey128Graceful() (KeyResult128, *PartialResult) {
+	start := a.ch.Encryptions()
+	res, resolved, err := a.recoverKey128()
+	if err == nil {
+		return res, nil
+	}
+	p := newPartialResult("GIFT-128", len(resolved), err, a.ch.Encryptions()-start)
+	p.fillSegments(a.lastStatuses, a.lastRound, gift.Segments128)
+	return res, p
 }
 
 // AssembleKey128 rebuilds the master key from the first two round keys:

@@ -70,6 +70,100 @@ func TestEliminatorThresholdToleratesAbsence(t *testing.T) {
 	}
 }
 
+// TestEliminatorAdversarialExhaustThenRestart models the recovery the
+// attack core performs under destructive noise: a false absence on the
+// true line exhausts a strict eliminator permanently, and a fresh
+// eliminator with a relaxed threshold converges on the same stream.
+func TestEliminatorAdversarialExhaustThenRestart(t *testing.T) {
+	// True line is 3; observation 2 misses it (false absence) and every
+	// other line dies across the stream.
+	stream := []probe.LineSet{
+		0b1111_1000, 0b0011_0110, 0b0000_1100, 0b0110_1000,
+		0b0000_1010, 0b0100_1100, 0b0000_1001, 0b0010_1000,
+	}
+
+	strict := NewEliminator(8, 1)
+	for _, s := range stream {
+		strict.Observe(s)
+	}
+	if !strict.Exhausted() {
+		t.Fatal("strict eliminator should exhaust: the true line has a false absence")
+	}
+
+	// The restart path re-runs with a relaxed threshold over fresh
+	// observations of the same distribution. One relaxation (0.9) is
+	// still above the true line's 7/8 ratio; the second restart's 0.81
+	// tolerates the loss.
+	relaxed := NewEliminator(8, relaxThreshold(relaxThreshold(1, 0.9), 0.9))
+	for i := 0; i < 6; i++ {
+		for _, s := range stream {
+			relaxed.Observe(s)
+		}
+	}
+	line, ok := relaxed.Converged(relaxedMinObservations)
+	if !ok || line != 3 {
+		t.Fatalf("relaxed Converged = (%d,%v), want (3,true)", line, ok)
+	}
+}
+
+// TestEliminatorBurstyFalseAbsences pins threshold semantics under
+// correlated (bursty) loss: the true line vanishes for a contiguous
+// burst but keeps a ratio above the threshold over the full window,
+// while an intermittent noise line stays below it.
+func TestEliminatorBurstyFalseAbsences(t *testing.T) {
+	e := NewEliminator(4, 0.75)
+	true3, noise1 := probe.LineSet(0b1000), probe.LineSet(0b0010)
+	for i := 0; i < 40; i++ {
+		s := true3
+		if i >= 10 && i < 14 {
+			s = 0 // 4-observation burst: the true line disappears
+		}
+		if i%3 == 0 {
+			s |= noise1
+		}
+		e.Observe(s)
+	}
+	// True line: 36/40 = 0.9 ≥ 0.75. Noise line: 14/40 = 0.35 < 0.75.
+	line, ok := e.Converged(8)
+	if !ok || line != 3 {
+		t.Fatalf("Converged = (%d,%v), want (3,true)", line, ok)
+	}
+	// A longer burst pushes the true line below the threshold and the
+	// eliminator must report exhaustion, not a fake survivor.
+	e2 := NewEliminator(4, 0.75)
+	for i := 0; i < 40; i++ {
+		s := true3
+		if i >= 10 && i < 24 {
+			s = 0 // 14/40 lost: ratio 0.65 < 0.75
+		}
+		e2.Observe(s)
+	}
+	if !e2.Exhausted() {
+		t.Fatalf("candidates %v, want exhaustion under a 35%% loss burst", e2.Candidates())
+	}
+}
+
+// TestEliminatorMinObservationsGuardsSparseLines covers the per-line
+// examination floor: under a partial mask a line seen only once must
+// not be declared converged until it has minObs examinations behind it.
+func TestEliminatorMinObservationsGuardsSparseLines(t *testing.T) {
+	e := NewEliminator(4, 1)
+	// Lines 1..3 examined and absent (eliminated); line 0 examined just
+	// once and present.
+	e.ObserveMasked(0b0001, 0b1111)
+	e.ObserveMasked(0b0000, 0b1110)
+	e.ObserveMasked(0b0000, 0b1110)
+	if _, ok := e.Converged(3); ok {
+		t.Fatal("line 0 declared converged on a single examination")
+	}
+	e.ObserveMasked(0b0001, 0b0001)
+	e.ObserveMasked(0b0001, 0b0001)
+	line, ok := e.Converged(3)
+	if !ok || line != 0 {
+		t.Fatalf("Converged = (%d,%v), want (0,true)", line, ok)
+	}
+}
+
 func TestEliminatorIgnoresOutOfRangeLines(t *testing.T) {
 	e := NewEliminator(2, 1)
 	e.Observe(probe.LineSet(0b1111)) // lines 2,3 beyond range

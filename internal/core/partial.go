@@ -1,0 +1,133 @@
+package core
+
+import "errors"
+
+// SegmentStatus is one per-segment elimination outcome inside a
+// PartialResult: what the attack knew about segment (Round, Segment)
+// when the run stopped.
+type SegmentStatus struct {
+	Round   int `json:"round"`
+	Segment int `json:"segment"`
+	// Converged reports whether the elimination pinned a single line.
+	Converged bool `json:"converged"`
+	// Line is the converged table line (-1 when not converged or not
+	// attempted).
+	Line int `json:"line"`
+	// Observations is the elimination's observation count (summed over
+	// restarts).
+	Observations uint64 `json:"observations"`
+	// Restarts / Retries are the recovery actions the segment consumed.
+	Restarts int    `json:"restarts,omitempty"`
+	Retries  uint64 `json:"retries,omitempty"`
+	// Confidence is the converged survivor's presence-ratio separation
+	// from the strongest eliminated line, in [0,1].
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// statusFor assembles a SegmentStatus from a target outcome's fields.
+func statusFor(round, segment int, converged bool, line int, observations uint64, restarts int, retries uint64, conf float64) SegmentStatus {
+	return SegmentStatus{
+		Round:        round,
+		Segment:      segment,
+		Converged:    converged,
+		Line:         line,
+		Observations: observations,
+		Restarts:     restarts,
+		Retries:      retries,
+		Confidence:   conf,
+	}
+}
+
+// PartialResult is the graceful-degradation report of an attack that
+// did not fully recover the key: instead of collapsing everything the
+// run learned into ErrNoConvergence, it preserves how far the attack
+// got — fully-resolved round keys, per-segment status of the failing
+// pass, and a machine-readable reason.
+type PartialResult struct {
+	// Cipher labels the victim ("GIFT-64", "GIFT-128").
+	Cipher string `json:"cipher"`
+	// ResolvedRounds is how many round keys were fully recovered before
+	// the failure (each pins 32 master-key bits for GIFT-64, 64 for
+	// GIFT-128).
+	ResolvedRounds int `json:"resolved_rounds"`
+	// Segments holds the failing round pass's per-segment statuses, in
+	// segment order; segments the pass never reached appear with
+	// Line == -1 and zero observations.
+	Segments []SegmentStatus `json:"segments"`
+	// Encryptions is the total victim encryptions the run consumed.
+	Encryptions uint64 `json:"encryptions"`
+	// Reason classifies the stop: "no-convergence", "budget-exceeded",
+	// "sim-deadline", "channel-transient" (retries exhausted on a
+	// transient fault) or "error".
+	Reason string `json:"reason"`
+}
+
+// Converged returns how many segments of the failing pass converged.
+func (p *PartialResult) Converged() int {
+	n := 0
+	for _, s := range p.Segments {
+		if s.Converged {
+			n++
+		}
+	}
+	return n
+}
+
+// Confidence returns the mean confidence over the failing pass's
+// converged segments (0 when none converged).
+func (p *PartialResult) Confidence() float64 {
+	var sum float64
+	n := 0
+	for _, s := range p.Segments {
+		if s.Converged {
+			sum += s.Confidence
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// newPartialResult builds the header of a partial result.
+func newPartialResult(cipher string, resolved int, err error, encryptions uint64) *PartialResult {
+	return &PartialResult{
+		Cipher:         cipher,
+		ResolvedRounds: resolved,
+		Encryptions:    encryptions,
+		Reason:         Reason(err),
+	}
+}
+
+// fillSegments copies the failing pass's statuses and pads the
+// never-reached remainder of its round as unattempted. Statuses are
+// appended in segment order by AttackRound, so the pad starts where
+// they end.
+func (p *PartialResult) fillSegments(statuses []SegmentStatus, round, total int) {
+	p.Segments = append(p.Segments, statuses...)
+	for g := len(statuses); g < total; g++ {
+		p.Segments = append(p.Segments, SegmentStatus{Round: round, Segment: g, Line: -1})
+	}
+}
+
+// Reason classifies an attack error into the stable PartialResult
+// vocabulary ("budget-exceeded", "sim-deadline", "no-convergence",
+// "channel-transient", "error"; "" for nil) so campaign layers report
+// the same taxonomy for full errors as for partial results.
+func Reason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget-exceeded"
+	case errors.Is(err, ErrSimDeadline):
+		return "sim-deadline"
+	case errors.Is(err, ErrNoConvergence):
+		return "no-convergence"
+	case isTransient(err):
+		return "channel-transient"
+	default:
+		return "error"
+	}
+}

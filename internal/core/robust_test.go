@@ -1,0 +1,350 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/gift"
+	"grinch/internal/obs"
+	"grinch/internal/probe"
+)
+
+// transientErr is a minimal retryable channel failure (the duck-typed
+// contract faults.TransientError satisfies).
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "transient probe failure" }
+func (transientErr) Transient() bool { return true }
+
+// flakyChannel wraps a channel and fails every failEvery-th collection
+// with a transient error (failEvery == 1 fails always). The victim
+// encryption still happens on failure, matching the fault injector's
+// transient semantics.
+type flakyChannel struct {
+	ch        probe.Channel
+	failEvery uint64
+	calls     uint64
+}
+
+func (f *flakyChannel) Lines() int          { return f.ch.Lines() }
+func (f *flakyChannel) Encryptions() uint64 { return f.ch.Encryptions() }
+func (f *flakyChannel) Collect(pt uint64, r int) probe.LineSet {
+	s, err := f.CollectErr(pt, r)
+	if err != nil {
+		return 0
+	}
+	return s
+}
+func (f *flakyChannel) CollectErr(pt uint64, r int) (probe.LineSet, error) {
+	f.calls++
+	s := f.ch.Collect(pt, r)
+	if f.failEvery > 0 && f.calls%f.failEvery == 0 {
+		return 0, transientErr{}
+	}
+	return s, nil
+}
+
+// degradeChannel wraps a channel and replaces every k-th observation
+// with the given set (empty models a dropped probe window, full an
+// all-lines thrash).
+type degradeChannel struct {
+	ch  probe.Channel
+	k   uint64
+	set probe.LineSet
+}
+
+func (d *degradeChannel) Lines() int          { return d.ch.Lines() }
+func (d *degradeChannel) Encryptions() uint64 { return d.ch.Encryptions() }
+func (d *degradeChannel) Collect(pt uint64, r int) probe.LineSet {
+	s := d.ch.Collect(pt, r)
+	if d.ch.Encryptions()%d.k == 0 {
+		return d.set
+	}
+	return s
+}
+
+// TestRetryBoundedAttempts pins the retry cap: an always-failing
+// channel is retried exactly MaxAttempts times per observation and the
+// target then aborts with the channel error instead of spinning.
+func TestRetryBoundedAttempts(t *testing.T) {
+	key := bitutil.Word128{Lo: 0x1111222233334444, Hi: 0x5555666677778888}
+	fl := &flakyChannel{ch: cleanChannel(t, key, 1), failEvery: 1}
+	var buf obs.Buffer
+	a := newAttacker(t, fl, Config{Seed: 1, Retry: RetryPolicy{MaxAttempts: 3, BackoffPS: 100}, Tracer: &buf})
+
+	o := a.AttackTarget(NewTarget64(1, 0), nil)
+	if o.Converged || o.ChannelErr == nil {
+		t.Fatalf("outcome %+v: want channel failure", o)
+	}
+	if o.Retries != 3 {
+		t.Fatalf("retried %d times, want exactly MaxAttempts = 3", o.Retries)
+	}
+	if fl.calls != 4 {
+		t.Fatalf("channel saw %d collections, want 1 + 3 retries", fl.calls)
+	}
+	// Backoff is exponential in sim-time: 100, 200, 400 ps.
+	if got := a.SimPS(); got != 700 {
+		t.Fatalf("accrued backoff %d ps, want 700", got)
+	}
+	var retry []obs.Event
+	for _, e := range buf.Events {
+		if e.Kind == obs.KindRetry {
+			retry = append(retry, e)
+		}
+	}
+	if len(retry) != 3 || retry[0].Attempt != 1 || retry[2].Attempt != 3 || retry[2].SimPS != 400 {
+		t.Fatalf("retry events %+v", retry)
+	}
+}
+
+// TestRetryRecoversKey exercises the happy retry path: a channel that
+// fails one collection in five still yields full key recovery under a
+// small retry budget.
+func TestRetryRecoversKey(t *testing.T) {
+	key := bitutil.Word128{Lo: 0x0123456789abcdef, Hi: 0xfedcba9876543210}
+	fl := &flakyChannel{ch: cleanChannel(t, key, 1), failEvery: 5}
+	a := newAttacker(t, fl, Config{Seed: 1, Retry: RetryPolicy{MaxAttempts: 2}})
+	res, err := a.RecoverKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key != key {
+		t.Fatalf("recovered wrong key under transient failures")
+	}
+}
+
+// TestRetryDisabledFailsFast: with the zero policy the first transient
+// failure aborts, surfacing the error through the round attack.
+func TestRetryDisabledFailsFast(t *testing.T) {
+	key := bitutil.Word128{Lo: 1, Hi: 2}
+	fl := &flakyChannel{ch: cleanChannel(t, key, 1), failEvery: 1}
+	a := newAttacker(t, fl, Config{Seed: 1})
+	_, err := a.AttackRound(1, nil, nil)
+	if err == nil || !isTransient(err) {
+		t.Fatalf("err = %v, want wrapped transient channel failure", err)
+	}
+	if fl.calls != 1 {
+		t.Fatalf("channel saw %d collections, want fail-fast 1", fl.calls)
+	}
+}
+
+// TestQuarantineSurvivesDroppedWindows: periodic empty observations
+// poison a strict intersection (one empty set eliminates everything);
+// quarantine discards them and recovery proceeds.
+func TestQuarantineSurvivesDroppedWindows(t *testing.T) {
+	key := bitutil.Word128{Lo: 0x0123456789abcdef, Hi: 0xfedcba9876543210}
+	drop := func() probe.Channel {
+		return &degradeChannel{ch: cleanChannel(t, key, 1), k: 7, set: 0}
+	}
+
+	a := newAttacker(t, drop(), Config{Seed: 1})
+	if _, err := a.RecoverKey(); err == nil {
+		t.Fatal("strict intersection survived dropped windows without quarantine")
+	}
+
+	a = newAttacker(t, drop(), Config{Seed: 1, Quarantine: true})
+	res, err := a.RecoverKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key != key {
+		t.Fatal("recovered wrong key")
+	}
+}
+
+// TestQuarantineSurvivesAllLinesThrash: all-lines observations carry no
+// index information; quarantine keeps them from inflating presence
+// ratios (and from stalling strict eliminations).
+func TestQuarantineSurvivesAllLinesThrash(t *testing.T) {
+	key := bitutil.Word128{Lo: 0xaaaabbbbccccdddd, Hi: 0x1111222233334444}
+	full := probe.FullSet(16)
+	ch := &degradeChannel{ch: cleanChannel(t, key, 1), k: 3, set: full}
+	a := newAttacker(t, ch, Config{Seed: 2, Quarantine: true})
+	res, err := a.RecoverKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key != key {
+		t.Fatal("recovered wrong key")
+	}
+}
+
+// TestRestartAfterExhaustion: a destructive prefix (empty observations
+// while the attacker has no statistics yet) exhausts a strict
+// elimination immediately; a restart relaxes the threshold and the
+// segment converges on the second pass.
+func TestRestartAfterExhaustion(t *testing.T) {
+	key := bitutil.Word128{Lo: 0x0123456789abcdef, Hi: 0xfedcba9876543210}
+	// The first two observations come back empty, everything after is
+	// clean.
+	inner := cleanChannel(t, key, 1)
+	ch := channelFunc{
+		lines: inner.Lines,
+		encs:  inner.Encryptions,
+		collect: func(pt uint64, r int) probe.LineSet {
+			s := inner.Collect(pt, r)
+			if inner.Encryptions() <= 2 {
+				return 0
+			}
+			return s
+		},
+	}
+
+	var buf obs.Buffer
+	a := newAttacker(t, ch, Config{Seed: 3, MaxRestarts: 2, Tracer: &buf})
+	o := a.AttackTarget(NewTarget64(1, 0), nil)
+	if !o.Converged {
+		t.Fatalf("outcome %+v: want convergence after restart", o)
+	}
+	if o.Restarts == 0 {
+		t.Fatal("converged without restarting; the destructive prefix was not exercised")
+	}
+	found := false
+	for _, e := range buf.Events {
+		if e.Kind == obs.KindTargetRestarted {
+			found = true
+			if e.Threshold >= 1 || e.Threshold < 0.5 {
+				t.Fatalf("restart event threshold %v outside (0.5, 1)", e.Threshold)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no target_restarted event emitted")
+	}
+
+	// Without restarts the same channel exhausts terminally.
+	inner2 := cleanChannel(t, key, 1)
+	ch2 := channelFunc{
+		lines: inner2.Lines,
+		encs:  inner2.Encryptions,
+		collect: func(pt uint64, r int) probe.LineSet {
+			s := inner2.Collect(pt, r)
+			if inner2.Encryptions() <= 2 {
+				return 0
+			}
+			return s
+		},
+	}
+	a2 := newAttacker(t, ch2, Config{Seed: 3})
+	if o2 := a2.AttackTarget(NewTarget64(1, 0), nil); !o2.Exhausted || o2.Converged {
+		t.Fatalf("outcome %+v: want terminal exhaustion without restarts", o2)
+	}
+}
+
+// channelFunc adapts closures to probe.Channel for scripted tests.
+type channelFunc struct {
+	collect func(uint64, int) probe.LineSet
+	lines   func() int
+	encs    func() uint64
+}
+
+func (c channelFunc) Collect(pt uint64, r int) probe.LineSet { return c.collect(pt, r) }
+func (c channelFunc) Lines() int                             { return c.lines() }
+func (c channelFunc) Encryptions() uint64                    { return c.encs() }
+
+// TestSimDeadlineAborts: retry backoff advances the simulated clock and
+// the deadline turns a retry storm into a typed abort.
+func TestSimDeadlineAborts(t *testing.T) {
+	key := bitutil.Word128{Lo: 3, Hi: 4}
+	fl := &flakyChannel{ch: cleanChannel(t, key, 1), failEvery: 1}
+	a := newAttacker(t, fl, Config{
+		Seed:          1,
+		Retry:         RetryPolicy{MaxAttempts: 1 << 20, BackoffPS: 1000},
+		SimDeadlinePS: 10_000,
+	})
+	o := a.AttackTarget(NewTarget64(1, 0), nil)
+	if !errors.Is(o.ChannelErr, ErrSimDeadline) {
+		t.Fatalf("ChannelErr = %v, want ErrSimDeadline", o.ChannelErr)
+	}
+	if a.SimPS() < 10_000 {
+		t.Fatalf("aborted at %d ps, before the deadline", a.SimPS())
+	}
+	// 1000·(1+2+4+8) = 15000 ≥ 10000 after four retries: the storm is
+	// bounded well below the retry cap.
+	if fl.calls > 8 {
+		t.Fatalf("channel saw %d collections; deadline did not bound the storm", fl.calls)
+	}
+}
+
+// TestRecoverKeyGraceful covers the degradation ladder: full success
+// returns a nil partial; budget exhaustion and channel failure return
+// structured partials instead of bare errors.
+func TestRecoverKeyGraceful(t *testing.T) {
+	key := bitutil.Word128{Lo: 0x0123456789abcdef, Hi: 0xfedcba9876543210}
+
+	a := newAttacker(t, cleanChannel(t, key, 1), Config{Seed: 1})
+	res, partial := a.RecoverKeyGraceful()
+	if partial != nil {
+		t.Fatalf("clean run degraded: %+v", partial)
+	}
+	if res.Key != key {
+		t.Fatal("recovered wrong key")
+	}
+
+	a = newAttacker(t, cleanChannel(t, key, 1), Config{Seed: 1, TotalBudget: 40})
+	_, partial = a.RecoverKeyGraceful()
+	if partial == nil {
+		t.Fatal("budget-starved run reported full success")
+	}
+	if partial.Reason != "budget-exceeded" {
+		t.Fatalf("reason %q, want budget-exceeded", partial.Reason)
+	}
+	if len(partial.Segments) != gift.Segments64 {
+		t.Fatalf("%d segment statuses, want %d (attempted + padded)", len(partial.Segments), gift.Segments64)
+	}
+	if partial.Converged() == 0 {
+		t.Fatal("40 encryptions should converge at least one segment")
+	}
+	if partial.Converged() == gift.Segments64 {
+		t.Fatal("partial claims every segment converged under a 40-encryption budget")
+	}
+	for g, s := range partial.Segments {
+		if s.Segment != g || s.Round != 1 {
+			t.Fatalf("segment status %d: %+v", g, s)
+		}
+		if s.Converged && s.Confidence <= 0 {
+			t.Fatalf("converged segment %d has zero confidence", g)
+		}
+		if !s.Converged && s.Line != -1 {
+			t.Fatalf("unconverged segment %d reports line %d", g, s.Line)
+		}
+	}
+
+	fl := &flakyChannel{ch: cleanChannel(t, key, 1), failEvery: 1}
+	a = newAttacker(t, fl, Config{Seed: 1, Retry: RetryPolicy{MaxAttempts: 2}})
+	_, partial = a.RecoverKeyGraceful()
+	if partial == nil || partial.Reason != "channel-transient" {
+		t.Fatalf("partial %+v, want channel-transient", partial)
+	}
+	if partial.ResolvedRounds != 0 {
+		t.Fatalf("resolved %d rounds over a dead channel", partial.ResolvedRounds)
+	}
+}
+
+// TestRecoverKey128Graceful mirrors the graceful ladder for GIFT-128.
+func TestRecoverKey128Graceful(t *testing.T) {
+	key := bitutil.Word128{Lo: 0x0011223344556677, Hi: 0x8899aabbccddeeff}
+	clean := func() Channel128 { return cleanChannel128(t, key, 1) }
+
+	a, err := NewAttacker128(clean(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, partial := a.RecoverKey128Graceful()
+	if partial != nil || res.Key != key {
+		t.Fatalf("clean GIFT-128 run degraded: %+v", partial)
+	}
+
+	a, err = NewAttacker128(clean(), Config{Seed: 1, TotalBudget: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, partial = a.RecoverKey128Graceful()
+	if partial == nil || partial.Reason != "budget-exceeded" || partial.Cipher != "GIFT-128" {
+		t.Fatalf("partial %+v", partial)
+	}
+	if len(partial.Segments) != gift.Segments128 {
+		t.Fatalf("%d segment statuses, want %d", len(partial.Segments), gift.Segments128)
+	}
+}

@@ -2,14 +2,17 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"grinch/internal/bitutil"
 	"grinch/internal/campaign"
 	"grinch/internal/core"
+	"grinch/internal/faults"
 	"grinch/internal/obs"
 	"grinch/internal/oracle"
+	"grinch/internal/probe"
 	"grinch/internal/rng"
 	"grinch/internal/soc"
 	"grinch/internal/stats"
@@ -136,6 +139,47 @@ func Execute(job campaign.Job, tracer obs.Tracer) (campaign.Measurement, error) 
 	return campaign.Measurement{}, fmt.Errorf("experiments: unknown job kind %q", job.Point.Kind)
 }
 
+// jobChannel builds the job's oracle channel and, when the job carries
+// a fault plan, wraps it in a fault injector seeded from the job seed.
+// The returned stats closure reads the injector's fault counters (zero
+// without a plan), and the encs closure the victim encryption count.
+func jobChannel(key bitutil.Word128, ocfg oracle.Config, job campaign.Job, tracer obs.Tracer) (probe.Channel, func() faults.Stats, error) {
+	ch, err := oracle.New(key, ocfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch.SetTracer(tracer)
+	if job.FaultPlan.Empty() {
+		return ch, func() faults.Stats { return faults.Stats{} }, nil
+	}
+	inj := faults.NewInjector(ch, job.FaultPlan, job.Seed)
+	inj.SetTracer(tracer)
+	return inj, inj.Stats, nil
+}
+
+// jobAttackConfig maps the job's robustness knobs onto the attack core:
+// the spec's retry policy and simulated deadline always apply, and a
+// job that actually injects faults additionally gets observation
+// quarantine and bounded per-target restarts so destructive noise
+// degrades the result instead of wedging the attack.
+func jobAttackConfig(job campaign.Job, seed uint64, tracer obs.Tracer) core.Config {
+	cfg := core.Config{
+		Seed:        seed,
+		TotalBudget: job.Budget,
+		Tracer:      tracer,
+		Retry: core.RetryPolicy{
+			MaxAttempts: job.Retry.Attempts,
+			BackoffPS:   job.Retry.BackoffPS,
+		},
+		SimDeadlinePS: job.DeadlinePS,
+	}
+	if !job.FaultPlan.Empty() {
+		cfg.Quarantine = true
+		cfg.MaxRestarts = 2
+	}
+	return cfg
+}
+
 func execFirstRound(job campaign.Job, tracer obs.Tracer) (campaign.Measurement, error) {
 	r := rng.New(job.Seed)
 	key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
@@ -145,30 +189,62 @@ func execFirstRound(job campaign.Job, tracer obs.Tracer) (campaign.Measurement, 
 		LineWords:  job.Point.LineWords,
 		Seed:       r.Uint64(),
 	}
-	n, ok := firstRoundEffort(key, cfg, job.Budget, r.Uint64(), tracer)
-	if !ok {
-		return campaign.Measurement{Encryptions: job.Budget, DroppedOut: true}, nil
+	ch, stats, err := jobChannel(key, cfg, job, tracer)
+	if err != nil {
+		return campaign.Measurement{}, err
 	}
-	return campaign.Measurement{Encryptions: n}, nil
+	a, err := core.NewAttacker(ch, jobAttackConfig(job, r.Uint64(), tracer))
+	if err != nil {
+		return campaign.Measurement{}, err
+	}
+	out, err := a.AttackRound(1, nil, nil)
+	m := campaign.Measurement{Faults: stats().Total()}
+	if err != nil {
+		m.DroppedOut = true
+		m.Reason = core.Reason(err)
+		// Budget drop-outs report the budget value (the paper's ">1M"
+		// cells); earlier aborts report what was actually consumed.
+		if errors.Is(err, core.ErrBudgetExceeded) {
+			m.Encryptions = job.Budget
+		} else {
+			m.Encryptions = ch.Encryptions()
+		}
+		return m, nil
+	}
+	m.Encryptions = out.Encryptions
+	return m, nil
 }
 
 func execRecovery(job campaign.Job, tracer obs.Tracer) (campaign.Measurement, error) {
 	r := rng.New(job.Seed)
 	key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
-	ch, err := oracle.New(key, oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1, Seed: r.Uint64()})
+	ocfg := oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1, Seed: r.Uint64()}
+	ch, stats, err := jobChannel(key, ocfg, job, tracer)
 	if err != nil {
 		return campaign.Measurement{}, err
 	}
-	ch.SetTracer(tracer)
-	a, err := core.NewAttacker(ch, core.Config{Seed: r.Uint64(), TotalBudget: job.Budget, Tracer: tracer})
+	a, err := core.NewAttacker(ch, jobAttackConfig(job, r.Uint64(), tracer))
 	if err != nil {
 		return campaign.Measurement{}, err
 	}
-	out, err := a.RecoverKey()
-	if err != nil {
-		return campaign.Measurement{Encryptions: ch.Encryptions(), DroppedOut: true}, nil
+	out, partial := a.RecoverKeyGraceful()
+	m := campaign.Measurement{Faults: stats().Total()}
+	if partial != nil {
+		m.Encryptions = ch.Encryptions()
+		m.DroppedOut = true
+		m.Partial = true
+		m.Reason = partial.Reason
+		m.ResolvedRounds = partial.ResolvedRounds
+		m.SegmentsConverged = partial.Converged()
+		m.Confidence = partial.Confidence()
+		for _, s := range partial.Segments {
+			m.Retries += s.Retries
+		}
+		return m, nil
 	}
-	return campaign.Measurement{Encryptions: out.Encryptions, Correct: out.Key == key}, nil
+	m.Encryptions = out.Encryptions
+	m.Correct = out.Key == key
+	return m, nil
 }
 
 func execRace(job campaign.Job, tracer obs.Tracer) (campaign.Measurement, error) {

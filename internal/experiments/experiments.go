@@ -22,7 +22,6 @@ import (
 	"grinch/internal/core"
 	"grinch/internal/countermeasure"
 	"grinch/internal/gift"
-	"grinch/internal/obs"
 	"grinch/internal/oracle"
 	"grinch/internal/rng"
 	"grinch/internal/stats"
@@ -97,27 +96,6 @@ func humanCount(v float64) string {
 	default:
 		return fmt.Sprintf("%.0f", v)
 	}
-}
-
-// firstRoundEffort measures the encryptions needed to recover the first
-// 32 key bits (the paper's "attack the first round" metric) under the
-// given channel configuration. ok is false when the budget ran out.
-// tracer (nil to disable) receives the attack's event stream.
-func firstRoundEffort(key bitutil.Word128, ocfg oracle.Config, budget, seed uint64, tracer obs.Tracer) (uint64, bool) {
-	ch, err := oracle.New(key, ocfg)
-	if err != nil {
-		panic(err)
-	}
-	ch.SetTracer(tracer)
-	a, err := core.NewAttacker(ch, core.Config{Seed: seed, TotalBudget: budget, Tracer: tracer})
-	if err != nil {
-		panic(err)
-	}
-	out, err := a.AttackRound(1, nil, nil)
-	if err != nil {
-		return ch.Encryptions(), false
-	}
-	return out.Encryptions, true
 }
 
 // Fig3Row is one x-axis position of paper Fig. 3.

@@ -1,0 +1,250 @@
+// Package faults is the structured fault injector for the attack
+// pipeline: a deterministic, seedable wrapper around any observation
+// channel that disturbs the probe stream according to a declarative
+// Plan.
+//
+// The paper's Fig. 3 / Table I evaluation assumes a cooperative victim:
+// every probe lands and the only disturbance is iid per-line noise
+// (oracle.Config.FalsePresence/FalseAbsence). Real access-driven
+// attacks — the Flush+Reload and Prime+Probe lineage this repo models —
+// face *structured* disturbance instead: bursty cache thrash from
+// co-resident processes, whole probe windows missed to scheduler
+// jitter, observations landing a round early or late, and transient
+// channel failures (a remapped page, a migrated victim). This package
+// makes those disturbances first-class, declarative and replayable, so
+// the robustness of the attack core (retry, quarantine, restart,
+// graceful degradation — internal/core) and of whole campaigns can be
+// measured as a curve rather than asserted.
+//
+// Determinism contract: every injection decision for the channel's
+// n-th encryption is drawn from a private generator seeded with
+// rng.Derive(plan seed, n). Decisions are therefore random-access —
+// independent of call interleaving, retries and worker scheduling —
+// and a fault-injected campaign remains byte-reproducible for any
+// worker count.
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind names a structured fault class. The strings are part of the
+// plan-file schema.
+type Kind string
+
+const (
+	// KindBurst is a window of correlated elevated noise — a
+	// co-resident thrasher polluting (FalsePresence) and evicting
+	// (FalseAbsence) table lines for Length consecutive encryptions.
+	KindBurst Kind = "burst"
+	// KindDrop is a window of missed probes: the observation comes back
+	// empty (no lines seen), as when the attacker loses its scheduling
+	// quantum between victim access and probe.
+	KindDrop Kind = "drop"
+	// KindMisalign shifts the probe window by Offset rounds — the
+	// observation is taken off-target, accumulating the wrong rounds'
+	// accesses.
+	KindMisalign Kind = "misalign"
+	// KindTransient makes the probe fail outright with a typed
+	// *TransientError (with per-encryption Probability inside the
+	// window). The victim encryption still happens — the probe, not the
+	// victim, failed — so budgets and windows keep advancing.
+	KindTransient Kind = "transient"
+)
+
+// Kinds lists every known fault kind, sorted, for error messages and
+// schema docs.
+func Kinds() []string {
+	ks := []string{string(KindBurst), string(KindDrop), string(KindMisalign), string(KindTransient)}
+	sort.Strings(ks)
+	return ks
+}
+
+// Fault is one declarative fault: a kind, a window over the channel's
+// encryption counter, and kind-specific parameters.
+type Fault struct {
+	Kind Kind `json:"kind"`
+	// Start is the first encryption (1-based, matching the channel's
+	// counter) the fault affects. 0 is normalized to 1.
+	Start uint64 `json:"start,omitempty"`
+	// Length is the window size in encryptions. 0 means open-ended:
+	// the fault stays active from Start onward.
+	Length uint64 `json:"length,omitempty"`
+	// Period repeats the window every Period encryptions (measured
+	// start-to-start). 0 means the window fires once. Period must be
+	// ≥ Length when both are set.
+	Period uint64 `json:"period,omitempty"`
+
+	// FalsePresence/FalseAbsence are the per-line burst noise
+	// probabilities (burst only), each in [0,1).
+	FalsePresence float64 `json:"false_presence,omitempty"`
+	FalseAbsence  float64 `json:"false_absence,omitempty"`
+
+	// Offset is the probe-round misalignment in rounds (misalign only;
+	// may be negative). The effective target round is clamped to ≥ 1.
+	Offset int `json:"offset,omitempty"`
+
+	// Probability is the per-encryption chance the fault fires inside
+	// its window (drop, transient; 0 is normalized to 1 = always).
+	Probability float64 `json:"probability,omitempty"`
+}
+
+// active reports whether the fault's window covers encryption enc
+// (1-based).
+func (f Fault) active(enc uint64) bool {
+	start := f.Start
+	if start == 0 {
+		start = 1
+	}
+	if enc < start {
+		return false
+	}
+	off := enc - start
+	if f.Period > 0 {
+		off %= f.Period
+	}
+	return f.Length == 0 || off < f.Length
+}
+
+// prob returns the normalized per-encryption firing probability.
+func (f Fault) prob() float64 {
+	if f.Probability == 0 {
+		return 1
+	}
+	return f.Probability
+}
+
+// validate reports schema errors for one fault, identified by its plan
+// index.
+func (f Fault) validate(i int) error {
+	where := fmt.Sprintf("faults: plan fault %d (%s)", i, f.Kind)
+	switch f.Kind {
+	case KindBurst:
+		if f.FalsePresence == 0 && f.FalseAbsence == 0 {
+			return fmt.Errorf("%s: needs false_presence and/or false_absence", where)
+		}
+	case KindDrop, KindTransient:
+		// Probability-only kinds.
+	case KindMisalign:
+		if f.Offset == 0 {
+			return fmt.Errorf("%s: needs a non-zero offset", where)
+		}
+	case "":
+		return fmt.Errorf("faults: plan fault %d has no kind (known kinds: %s)", i, strings.Join(Kinds(), ", "))
+	default:
+		return fmt.Errorf("faults: plan fault %d has unknown kind %q (known kinds: %s)", i, f.Kind, strings.Join(Kinds(), ", "))
+	}
+	if f.FalsePresence < 0 || f.FalsePresence >= 1 {
+		return fmt.Errorf("%s: false_presence = %v must be in [0,1)", where, f.FalsePresence)
+	}
+	if f.FalseAbsence < 0 || f.FalseAbsence >= 1 {
+		return fmt.Errorf("%s: false_absence = %v must be in [0,1)", where, f.FalseAbsence)
+	}
+	if f.Probability < 0 || f.Probability > 1 {
+		return fmt.Errorf("%s: probability = %v must be in [0,1]", where, f.Probability)
+	}
+	if f.Period > 0 && f.Length > f.Period {
+		return fmt.Errorf("%s: length %d exceeds period %d (windows would overlap themselves)", where, f.Length, f.Period)
+	}
+	return nil
+}
+
+// Plan is a named, declarative fault schedule. The zero Plan (no
+// faults) injects nothing and is the identity wrapper.
+type Plan struct {
+	// Name labels the plan in campaign grids and traces; a fault-plan
+	// axis requires distinct names.
+	Name string `json:"name"`
+	// Seed keys the plan's private injection randomness. The injector
+	// combines it with a caller-supplied seed, so the same plan file
+	// reused across campaign jobs still draws independent streams.
+	Seed   uint64  `json:"seed,omitempty"`
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Faults) == 0 }
+
+// Validate checks the plan against the schema.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		if err := f.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParsePlan decodes one plan from strict JSON: unknown fields are
+// rejected (a typo like "fase_presence" fails loudly instead of
+// silently injecting nothing), and unknown fault kinds name the known
+// ones.
+func ParsePlan(data []byte) (Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("faults: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// ParsePlans decodes either a single plan object or a JSON array of
+// plans (the shape a campaign fault axis sweeps), strictly.
+func ParsePlans(data []byte) ([]Plan, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var ps []Plan
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ps); err != nil {
+			return nil, fmt.Errorf("faults: parsing plan list: %w", err)
+		}
+		seen := map[string]bool{}
+		for i, p := range ps {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			if p.Name == "" {
+				return nil, fmt.Errorf("faults: plan %d in a plan list needs a name (plans become grid-axis values)", i)
+			}
+			if seen[p.Name] {
+				return nil, fmt.Errorf("faults: duplicate plan name %q in plan list", p.Name)
+			}
+			seen[p.Name] = true
+		}
+		return ps, nil
+	}
+	p, err := ParsePlan(data)
+	if err != nil {
+		return nil, err
+	}
+	return []Plan{p}, nil
+}
+
+// TransientError is the typed failure a transient-fault window returns
+// from a fallible channel's CollectErr. Consumers detect it through
+// the Transient method (duck-typed, so the attack core does not import
+// this package) and may retry under a bounded policy.
+type TransientError struct {
+	// Enc is the channel encryption (1-based) whose probe failed.
+	Enc uint64
+	// Fault is the plan index of the transient fault that fired.
+	Fault int
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faults: transient channel failure at encryption %d (plan fault %d)", e.Enc, e.Fault)
+}
+
+// Transient marks the error retryable; the attack core's RetryPolicy
+// keys on this method rather than on the concrete type.
+func (e *TransientError) Transient() bool { return true }

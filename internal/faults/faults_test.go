@@ -1,0 +1,287 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"grinch/internal/obs"
+	"grinch/internal/probe"
+)
+
+func TestFaultWindows(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      Fault
+		active []uint64
+		quiet  []uint64
+	}{
+		{
+			name:   "open-ended from start",
+			f:      Fault{Kind: KindDrop, Start: 5},
+			active: []uint64{5, 6, 100},
+			quiet:  []uint64{1, 4},
+		},
+		{
+			name:   "zero start normalizes to 1",
+			f:      Fault{Kind: KindDrop, Length: 3},
+			active: []uint64{1, 2, 3},
+			quiet:  []uint64{4, 50},
+		},
+		{
+			name:   "periodic window",
+			f:      Fault{Kind: KindBurst, FalsePresence: 0.5, Start: 10, Length: 2, Period: 10},
+			active: []uint64{10, 11, 20, 21, 110},
+			quiet:  []uint64{9, 12, 19, 22},
+		},
+	}
+	for _, c := range cases {
+		for _, enc := range c.active {
+			if !c.f.active(enc) {
+				t.Errorf("%s: enc %d should be active", c.name, enc)
+			}
+		}
+		for _, enc := range c.quiet {
+			if c.f.active(enc) {
+				t.Errorf("%s: enc %d should be quiet", c.name, enc)
+			}
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []struct {
+		plan Plan
+		want string
+	}{
+		{Plan{Faults: []Fault{{Kind: "gamma-ray"}}}, "unknown kind"},
+		{Plan{Faults: []Fault{{Kind: "gamma-ray"}}}, "burst, drop, misalign, transient"},
+		{Plan{Faults: []Fault{{}}}, "no kind"},
+		{Plan{Faults: []Fault{{Kind: KindBurst}}}, "false_presence"},
+		{Plan{Faults: []Fault{{Kind: KindBurst, FalsePresence: 1.5}}}, "[0,1)"},
+		{Plan{Faults: []Fault{{Kind: KindMisalign}}}, "offset"},
+		{Plan{Faults: []Fault{{Kind: KindDrop, Probability: 2}}}, "[0,1]"},
+		{Plan{Faults: []Fault{{Kind: KindDrop, Length: 5, Period: 3}}}, "exceeds period"},
+	}
+	for _, c := range bad {
+		err := c.plan.Validate()
+		if err == nil {
+			t.Errorf("plan %+v accepted", c.plan)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("plan %+v: error %q does not mention %q", c.plan, err, c.want)
+		}
+	}
+	ok := Plan{Faults: []Fault{
+		{Kind: KindBurst, FalsePresence: 0.2, FalseAbsence: 0.1, Start: 1, Length: 8, Period: 64},
+		{Kind: KindDrop, Probability: 0.05},
+		{Kind: KindMisalign, Offset: -1, Start: 100, Length: 10},
+		{Kind: KindTransient, Probability: 0.01},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestParsePlanStrict(t *testing.T) {
+	if _, err := ParsePlan([]byte(`{"name":"x","faults":[{"kind":"drop","probabillity":0.5}]}`)); err == nil {
+		t.Fatal("misspelled field accepted")
+	}
+	p, err := ParsePlan([]byte(`{"name":"x","seed":7,"faults":[{"kind":"drop","probability":0.5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "x" || p.Seed != 7 || len(p.Faults) != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParsePlans(t *testing.T) {
+	// Object form: a single (possibly unnamed) plan.
+	ps, err := ParsePlans([]byte(`{"faults":[{"kind":"drop"}]}`))
+	if err != nil || len(ps) != 1 {
+		t.Fatalf("object form: %v %v", ps, err)
+	}
+	// Array form: names are grid-axis values, so they must exist and be
+	// distinct.
+	ps, err = ParsePlans([]byte(`[{"name":"a","faults":[{"kind":"drop"}]},{"name":"b"}]`))
+	if err != nil || len(ps) != 2 {
+		t.Fatalf("array form: %v %v", ps, err)
+	}
+	if _, err = ParsePlans([]byte(`[{"faults":[{"kind":"drop"}]}]`)); err == nil {
+		t.Fatal("unnamed plan in list accepted")
+	}
+	if _, err = ParsePlans([]byte(`[{"name":"a"},{"name":"a"}]`)); err == nil {
+		t.Fatal("duplicate plan names accepted")
+	}
+}
+
+// fakeChan is a scripted GIFT-64 channel: every collection returns the
+// same line set and records the probed round.
+type fakeChan struct {
+	encs   uint64
+	set    probe.LineSet
+	rounds []int
+}
+
+func (c *fakeChan) Collect(pt uint64, r int) probe.LineSet {
+	c.encs++
+	c.rounds = append(c.rounds, r)
+	return c.set
+}
+func (c *fakeChan) Lines() int          { return 16 }
+func (c *fakeChan) Encryptions() uint64 { return c.encs }
+
+func TestDropAndTransientSemantics(t *testing.T) {
+	plan := Plan{Name: "t", Faults: []Fault{
+		{Kind: KindDrop, Start: 2, Length: 1},
+		{Kind: KindTransient, Start: 4, Length: 1},
+	}}
+	ch := &fakeChan{set: probe.LineSet(0b1010)}
+	in := NewInjector(ch, plan, 1)
+
+	got, err := in.CollectErr(1, 3)
+	if err != nil || got != ch.set {
+		t.Fatalf("enc 1: got %v, %v; want clean passthrough", got, err)
+	}
+	got, err = in.CollectErr(2, 3)
+	if err != nil || got != 0 {
+		t.Fatalf("enc 2 (drop): got %v, %v; want empty set", got, err)
+	}
+	if _, err = in.CollectErr(3, 3); err != nil {
+		t.Fatalf("enc 3: unexpected error %v", err)
+	}
+	_, err = in.CollectErr(4, 3)
+	var te *TransientError
+	if !errors.As(err, &te) || !te.Transient() || te.Enc != 4 {
+		t.Fatalf("enc 4 (transient): got %v, want *TransientError at enc 4", err)
+	}
+	// The transient consumed the victim encryption: the probe failed,
+	// not the victim, so windows and budgets keep advancing.
+	if ch.Encryptions() != 4 {
+		t.Fatalf("victim performed %d encryptions, want 4", ch.Encryptions())
+	}
+	// Plain Collect degrades the same transient to a dropped set.
+	ch2 := &fakeChan{set: ch.set}
+	in2 := NewInjector(ch2, plan, 1)
+	for i := 0; i < 3; i++ {
+		in2.Collect(uint64(i), 3)
+	}
+	if got := in2.Collect(9, 3); got != 0 {
+		t.Fatalf("Collect under transient: got %v, want empty", got)
+	}
+	st := in2.Stats()
+	if st.Drops != 1 || st.Transients != 1 || st.Total() != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMisalignShiftsProbeRound(t *testing.T) {
+	plan := Plan{Faults: []Fault{{Kind: KindMisalign, Offset: 2, Start: 2, Length: 1}}}
+	ch := &fakeChan{set: 1}
+	in := NewInjector(ch, plan, 1)
+	in.Collect(1, 3)
+	in.Collect(2, 3)
+	in.Collect(3, 3)
+	want := []int{3, 5, 3}
+	for i, r := range want {
+		if ch.rounds[i] != r {
+			t.Fatalf("rounds %v, want %v", ch.rounds, want)
+		}
+	}
+	// A negative offset clamps at round 1.
+	down := Plan{Faults: []Fault{{Kind: KindMisalign, Offset: -5}}}
+	ch2 := &fakeChan{set: 1}
+	NewInjector(ch2, down, 1).Collect(1, 3)
+	if ch2.rounds[0] != 1 {
+		t.Fatalf("negative offset probed round %d, want clamp to 1", ch2.rounds[0])
+	}
+}
+
+func TestBurstOverlaysCorrelatedNoise(t *testing.T) {
+	plan := Plan{Faults: []Fault{{Kind: KindBurst, FalsePresence: 0.9, FalseAbsence: 0.9, Start: 1, Length: 64}}}
+	ch := &fakeChan{set: probe.LineSet(0x00ff)}
+	in := NewInjector(ch, plan, 3)
+	flips := 0
+	for enc := 1; enc <= 64; enc++ {
+		got := in.Collect(uint64(enc), 1)
+		diff := got ^ ch.set
+		flips += diff.Count()
+	}
+	// 16 lines × 64 encryptions × 0.9 flip probability ≈ 920 expected
+	// flips; anything above half says the burst is really firing.
+	if flips < 500 {
+		t.Fatalf("only %d line flips across the burst window", flips)
+	}
+	if in.Stats().Bursts != 64 {
+		t.Fatalf("burst fired %d times, want 64", in.Stats().Bursts)
+	}
+}
+
+// TestDecisionsAreRandomAccess pins the determinism contract: the
+// injection decision for encryption n is a pure function of
+// (plan, seed, n), so two injectors over channels at different starting
+// points agree wherever their encryption counters overlap.
+func TestDecisionsAreRandomAccess(t *testing.T) {
+	plan := Plan{Seed: 9, Faults: []Fault{
+		{Kind: KindDrop, Probability: 0.3},
+		{Kind: KindBurst, FalsePresence: 0.4, FalseAbsence: 0.2},
+	}}
+	base := probe.LineSet(0x0f0f)
+
+	collect := func(skip int) []probe.LineSet {
+		ch := &fakeChan{set: base}
+		in := NewInjector(ch, plan, 5)
+		for i := 0; i < skip; i++ {
+			in.Collect(0, 1)
+		}
+		var out []probe.LineSet
+		for i := 0; i < 32; i++ {
+			out = append(out, in.Collect(0, 1))
+		}
+		return out
+	}
+
+	a := collect(8)  // encryptions 9..40
+	b := collect(20) // encryptions 21..52
+	for i := 0; i < 20; i++ {
+		// a's element i+12 and b's element i are the same encryption.
+		if a[i+12] != b[i] {
+			t.Fatalf("encryption %d decided differently: %v vs %v", 21+i, a[i+12], b[i])
+		}
+	}
+}
+
+func TestInjectorEmitsFaultEvents(t *testing.T) {
+	plan := Plan{Faults: []Fault{{Kind: KindDrop, Start: 3, Length: 2}}}
+	ch := &fakeChan{set: 1}
+	in := NewInjector(ch, plan, 1)
+	var buf obs.Buffer
+	in.SetTracer(&buf)
+	for i := 0; i < 5; i++ {
+		in.Collect(0, 1)
+	}
+	if len(buf.Events) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(buf.Events), buf.Events)
+	}
+	for i, e := range buf.Events {
+		if e.Kind != obs.KindFaultInjected || e.Fault != string(KindDrop) || e.Enc != uint64(3+i) {
+			t.Fatalf("event %d: %+v", i, e)
+		}
+	}
+}
+
+func TestEmptyPlanIsIdentity(t *testing.T) {
+	ch := &fakeChan{set: probe.LineSet(0b0110)}
+	in := NewInjector(ch, Plan{}, 1)
+	for i := 0; i < 10; i++ {
+		set, err := in.CollectErr(uint64(i), 2)
+		if err != nil || set != ch.set {
+			t.Fatalf("empty plan disturbed the channel: %v, %v", set, err)
+		}
+	}
+	if in.Stats().Total() != 0 {
+		t.Fatalf("empty plan injected %d faults", in.Stats().Total())
+	}
+}

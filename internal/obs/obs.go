@@ -63,6 +63,18 @@ const (
 	// KindSimTime reports the simulation kernel's virtual clock (in
 	// picoseconds) after a platform session — never wall-clock.
 	KindSimTime Kind = "sim_time"
+	// KindFaultInjected marks one structured fault firing on the
+	// observation channel (internal/faults): Fault holds the fault
+	// kind, Enc the affected encryption.
+	KindFaultInjected Kind = "fault_injected"
+	// KindRetry marks the attack core retrying a transient channel
+	// failure: Attempt is the retry ordinal (1-based), SimPS the
+	// deterministic backoff charged to the simulated clock.
+	KindRetry Kind = "retry"
+	// KindTargetRestarted marks a per-target elimination restart after
+	// exhaustion under noise: Attempt is the restart ordinal and
+	// Threshold the relaxed survival threshold the next pass uses.
+	KindTargetRestarted Kind = "target_restarted"
 )
 
 // Event is one trace record. It is a flat union over the kinds above
@@ -106,8 +118,16 @@ type Event struct {
 	Flushes      uint64 `json:"flushes,omitempty"`
 	FlushedLines uint64 `json:"flushed_lines,omitempty"`
 	// SimPS is the simulation kernel's virtual time in picoseconds
-	// (sim_time).
+	// (sim_time), or the backoff charged for one retry (retry).
 	SimPS uint64 `json:"sim_ps,omitempty"`
+	// Fault is the structured-fault kind that fired (fault_injected).
+	Fault string `json:"fault,omitempty"`
+	// Attempt is the retry or restart ordinal, 1-based (retry,
+	// target_restarted).
+	Attempt int `json:"attempt,omitempty"`
+	// Threshold is the relaxed candidate-survival threshold a restarted
+	// elimination will use (target_restarted).
+	Threshold float64 `json:"threshold,omitempty"`
 }
 
 // Tracer receives events. Implementations need not be safe for

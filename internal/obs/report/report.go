@@ -235,7 +235,7 @@ func WriteCurves(w io.Writer, segs []Segment) error {
 
 // CacheSummary aggregates the final cache_snapshot per job.
 type CacheSummary struct {
-	Job                                          int
+	Job                                            int
 	Hits, Misses, Evictions, Flushes, FlushedLines uint64
 }
 
@@ -272,6 +272,96 @@ func WriteCacheTable(w io.Writer, sums []CacheSummary) error {
 	for _, s := range sums {
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\n",
 			s.Job, s.Hits, s.Misses, s.Evictions, s.Flushes, s.FlushedLines)
+	}
+	return tw.Flush()
+}
+
+// FaultSummary aggregates one job's injected faults and the recovery
+// actions the attack core took in response (retries, restarts).
+type FaultSummary struct {
+	Job int
+	// Injected counts fault_injected events by fault kind.
+	Injected map[string]uint64
+	// Retries counts retry events; BackoffPS totals their simulated
+	// backoff wait.
+	Retries   uint64
+	BackoffPS uint64
+	// Restarts counts target_restarted events; FinalThreshold is the
+	// relaxed threshold of the last restart (0 when never restarted).
+	Restarts       uint64
+	FinalThreshold float64
+}
+
+// FoldFaults aggregates fault_injected, retry and target_restarted
+// events per job, in ascending job order. Traces without fault activity
+// fold to an empty slice.
+func FoldFaults(events []obs.Event) []FaultSummary {
+	sums := map[int]*FaultSummary{}
+	var jobs []int
+	get := func(job int) *FaultSummary {
+		s, ok := sums[job]
+		if !ok {
+			s = &FaultSummary{Job: job, Injected: map[string]uint64{}}
+			sums[job] = s
+			jobs = append(jobs, job)
+		}
+		return s
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindFaultInjected:
+			get(e.Job).Injected[e.Fault]++
+		case obs.KindRetry:
+			s := get(e.Job)
+			s.Retries++
+			s.BackoffPS += e.SimPS
+		case obs.KindTargetRestarted:
+			s := get(e.Job)
+			s.Restarts++
+			s.FinalThreshold = e.Threshold
+		}
+	}
+	sort.Ints(jobs)
+	out := make([]FaultSummary, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, *sums[j])
+	}
+	return out
+}
+
+// WriteFaultTable renders the per-job fault and recovery totals. Fault
+// kinds become columns, in sorted order over the kinds the trace
+// actually contains, so the table is a pure function of the trace.
+func WriteFaultTable(w io.Writer, sums []FaultSummary) error {
+	kindSet := map[string]bool{}
+	for _, s := range sums {
+		for k := range s.Injected {
+			kindSet[k] = true
+		}
+	}
+	kinds := make([]string, 0, len(kindSet))
+	for k := range kindSet {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	header := "JOB"
+	for _, k := range kinds {
+		header += "\t" + strings.ToUpper(k)
+	}
+	fmt.Fprintln(tw, header+"\tRETRIES\tBACKOFF_PS\tRESTARTS\tTHRESHOLD")
+	for _, s := range sums {
+		row := strconv.Itoa(s.Job)
+		for _, k := range kinds {
+			row += "\t" + strconv.FormatUint(s.Injected[k], 10)
+		}
+		threshold := "-"
+		if s.Restarts > 0 {
+			threshold = strconv.FormatFloat(s.FinalThreshold, 'g', 4, 64)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\n",
+			row, s.Retries, s.BackoffPS, s.Restarts, threshold)
 	}
 	return tw.Flush()
 }

@@ -114,6 +114,43 @@ func TestRenderIsDeterministic(t *testing.T) {
 	}
 }
 
+func TestFoldFaultsAggregatesRecoveryActions(t *testing.T) {
+	events := []obs.Event{
+		{Kind: obs.KindFaultInjected, Job: 1, Fault: "drop", Enc: 3},
+		{Kind: obs.KindFaultInjected, Job: 0, Fault: "burst", Enc: 5},
+		{Kind: obs.KindFaultInjected, Job: 0, Fault: "burst", Enc: 6},
+		{Kind: obs.KindRetry, Job: 0, Attempt: 1, SimPS: 400},
+		{Kind: obs.KindRetry, Job: 0, Attempt: 2, SimPS: 800},
+		{Kind: obs.KindTargetRestarted, Job: 1, Attempt: 1, Threshold: 0.9},
+		{Kind: obs.KindTargetRestarted, Job: 1, Attempt: 2, Threshold: 0.81},
+		{Kind: obs.KindEncryptionEnd, Job: 0, Enc: 9},
+	}
+	sums := FoldFaults(events)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	if s := sums[0]; s.Job != 0 || s.Injected["burst"] != 2 || s.Retries != 2 || s.BackoffPS != 1200 || s.Restarts != 0 {
+		t.Fatalf("job 0 summary %+v", s)
+	}
+	if s := sums[1]; s.Job != 1 || s.Injected["drop"] != 1 || s.Restarts != 2 || s.FinalThreshold != 0.81 {
+		t.Fatalf("job 1 summary %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := WriteFaultTable(&buf, sums); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BURST", "DROP", "RETRIES", "RESTARTS", "0.81"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fault table missing %q:\n%s", want, out)
+		}
+	}
+	// Faultless traces fold to nothing, so traceview can refuse cleanly.
+	if got := FoldFaults([]obs.Event{{Kind: obs.KindEncryptionEnd}}); len(got) != 0 {
+		t.Fatalf("faultless trace folded to %d summaries", len(got))
+	}
+}
+
 func TestFoldCacheTakesLastSnapshotPerJob(t *testing.T) {
 	events := []obs.Event{
 		{Kind: obs.KindCacheSnapshot, Job: 1, Hits: 1, Misses: 2},

@@ -75,8 +75,22 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("oracle: LineWords = %d must be one of 1,2,4,8,16", c.LineWords)
 	}
-	if c.FalsePresence < 0 || c.FalsePresence >= 1 || c.FalseAbsence < 0 || c.FalseAbsence >= 1 {
-		return fmt.Errorf("oracle: noise probabilities must be in [0,1)")
+	if err := validateNoise("FalsePresence", c.FalsePresence); err != nil {
+		return err
+	}
+	if err := validateNoise("FalseAbsence", c.FalseAbsence); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateNoise checks one noise probability field, naming the
+// offending field and value in the error. Both GIFT-64 and GIFT-128
+// oracles share this range: [0,1) — a probability of exactly 1 would
+// make every observation pure noise and is always a config mistake.
+func validateNoise(field string, v float64) error {
+	if v < 0 || v >= 1 {
+		return fmt.Errorf("oracle: %s = %v out of range [0,1)", field, v)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"strings"
 	"testing"
 
 	"grinch/internal/bitutil"
@@ -32,6 +33,40 @@ func TestConfigValidation(t *testing.T) {
 		if _, err := New(testKey, cfg); err == nil {
 			t.Errorf("config %+v accepted", cfg)
 		}
+	}
+}
+
+// TestNoiseValidationNamesField pins the error contract: an
+// out-of-range noise probability names the offending field and the
+// rejected value, and the [0,1) range is enforced identically for both
+// fields and both cipher variants (Oracle128 shares Config.Validate).
+func TestNoiseValidationNamesField(t *testing.T) {
+	cases := []struct {
+		cfg   Config
+		field string
+	}{
+		{Config{ProbeRound: 1, LineWords: 1, FalsePresence: 1}, "FalsePresence"},
+		{Config{ProbeRound: 1, LineWords: 1, FalsePresence: -0.25}, "FalsePresence"},
+		{Config{ProbeRound: 1, LineWords: 1, FalseAbsence: 1.5}, "FalseAbsence"},
+		{Config{ProbeRound: 1, LineWords: 1, FalseAbsence: -0.1}, "FalseAbsence"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("config %+v accepted", c.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.field) {
+			t.Errorf("error %q does not name field %s", err, c.field)
+		}
+		if _, err128 := New128(testKey, c.cfg); err128 == nil || err128.Error() != err.Error() {
+			t.Errorf("GIFT-128 oracle validation diverged: %v vs %v", err128, err)
+		}
+	}
+	// The boundary just inside the range stays accepted.
+	ok := Config{ProbeRound: 1, LineWords: 1, FalsePresence: 0.999, FalseAbsence: 0.999}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("config %+v rejected: %v", ok, err)
 	}
 }
 

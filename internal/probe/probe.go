@@ -90,6 +90,20 @@ type Channel interface {
 	Encryptions() uint64
 }
 
+// FallibleChannel is a Channel whose probes can fail outright — a
+// fault-injected wrapper (internal/faults) or a future live backend.
+// CollectErr performs the same observation as Collect but reports the
+// failure instead of degrading it. Errors exposing a
+// `Transient() bool` method (faults.TransientError does) mark the
+// failure retryable; the attack core's RetryPolicy keys on that.
+type FallibleChannel interface {
+	Channel
+	// CollectErr runs one observation; on error the victim encryption
+	// may still have been consumed (the channel's Encryptions counter
+	// is authoritative) but the returned set is meaningless.
+	CollectErr(pt uint64, targetRound int) (LineSet, error)
+}
+
 // MaskedChannel is a Channel whose probing primitive examines only part
 // of the table per encryption: an Evict+Time attacker (Osvik–Shamir–
 // Tromer style, the time-driven class the paper contrasts GRINCH with)
