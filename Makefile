@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint baseline build test race bench quick
+.PHONY: check vet lint baseline build test race bench bench-json quick
 
 check: vet lint build race
 
@@ -32,6 +32,15 @@ race:
 # Serial-vs-pooled campaign execution of a small Table I grid.
 bench:
 	$(GO) test -bench BenchmarkTable1Campaign -benchtime 3x -run XXX ./internal/experiments/
+
+# Machine-readable benchmark baseline: a fixed small benchmark set
+# (attack hot path + campaign orchestration) parsed into
+# BENCH_baseline.json via cmd/benchjson. Values are machine-dependent;
+# the committed file records the reference machine's numbers.
+bench-json:
+	$(GO) test -bench 'BenchmarkAttackNilTracer$$|BenchmarkTable1$$|BenchmarkTable1Campaign$$' \
+		-benchtime 3x -run XXX . ./internal/experiments/ | \
+		$(GO) run ./cmd/benchjson -o BENCH_baseline.json
 
 # Fast smoke of the full paper reproduction.
 quick:

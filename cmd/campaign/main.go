@@ -179,15 +179,22 @@ func main() {
 
 // failures collects failed results — as a sink it also sees jobs whose
 // failure was replayed from the journal, which Report.Failed (executed
-// jobs only) misses.
+// jobs only) misses. Each job index is kept once, so a failure that is
+// both replayed and re-delivered can never be double-counted in the
+// exit-code path.
 type failures struct {
 	list []campaign.Result
+	seen map[int]bool
 }
 
 func (f *failures) Begin(campaign.Spec, int) error { return nil }
 
 func (f *failures) Write(r campaign.Result) error {
-	if r.Failed {
+	if r.Failed && !f.seen[r.Job] {
+		if f.seen == nil {
+			f.seen = map[int]bool{}
+		}
+		f.seen[r.Job] = true
 		f.list = append(f.list, r)
 	}
 	return nil
@@ -318,7 +325,7 @@ func startTicker(spec campaign.Spec, m *campaign.Metrics, done *atomic.Int64, wo
 // printSummary renders the per-cell aggregate table and run totals.
 func printSummary(rep campaign.Report, agg *campaign.Aggregator, m *campaign.Metrics, trace *obs.Writer) {
 	fmt.Printf("campaign %s: %d jobs (%d resumed from journal, %d failed) in %v\n",
-		rep.Spec.Name, rep.Total, rep.Skipped, rep.Failed, rep.Elapsed.Round(time.Millisecond))
+		rep.Spec.Name, rep.Total, rep.Skipped, rep.Failed+rep.FailedReplayed, rep.Elapsed.Round(time.Millisecond))
 	snap := m.Snapshot()
 	fmt.Printf("  %d victim encryptions this run; per-job %.1fms mean, %.1fms max\n",
 		snap.Encryptions, snap.JobMSMean, snap.JobMSMax)

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"grinch/internal/campaign"
+)
+
+// TestFailuresSinkDedupes pins the -keep-going exit-code input: the
+// failures sink keeps one entry per failed job index, so a failure that
+// reaches the sink more than once (journal replay plus re-delivery)
+// cannot inflate the exit decision or the stderr log.
+func TestFailuresSinkDedupes(t *testing.T) {
+	f := &failures{}
+	fail := func(job int) campaign.Result {
+		return campaign.Result{Job: job, Failed: true, Err: "boom"}
+	}
+	for _, r := range []campaign.Result{
+		fail(3), {Job: 4}, fail(3), fail(7), {Job: 8}, fail(7), fail(3),
+	} {
+		if err := f.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f.list) != 2 {
+		t.Fatalf("failures sink kept %d entries, want 2 (jobs 3 and 7 once each)", len(f.list))
+	}
+	if f.list[0].Job != 3 || f.list[1].Job != 7 {
+		t.Fatalf("failures sink kept jobs %d, %d; want 3, 7", f.list[0].Job, f.list[1].Job)
+	}
+}
+
+// TestFailuresSinkMatchesReport checks the invariant the summary line
+// relies on: for a run where every result reaches the sink once, the
+// deduped sink count equals Report.Failed + Report.FailedReplayed.
+func TestFailuresSinkMatchesReport(t *testing.T) {
+	f := &failures{}
+	rep := campaign.Report{Failed: 2, FailedReplayed: 1}
+	for _, r := range []campaign.Result{
+		{Job: 0, Failed: true, Err: "replayed"},
+		{Job: 1}, {Job: 2, Failed: true, Err: "a"}, {Job: 3, Failed: true, Err: "b"},
+	} {
+		if err := f.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f.list) != rep.Failed+rep.FailedReplayed {
+		t.Fatalf("sink count %d != Failed+FailedReplayed %d", len(f.list), rep.Failed+rep.FailedReplayed)
+	}
+}

@@ -1,0 +1,93 @@
+// Command campaignw is a distributed campaign worker: it pulls shard
+// leases from a campaignd coordinator, executes the shard's attack
+// jobs on a local worker pool, and streams result batches back, until
+// stopped or (with -drain) until the coordinator reports every
+// campaign merged.
+//
+// Usage:
+//
+//	campaignw -server http://127.0.0.1:8844            # keep pulling forever
+//	campaignw -server http://host:8844 -id rack3 -drain
+//	campaignw -server http://host:8844 -workers 8 -batch 32
+//
+// Determinism: a worker adds no entropy. Job seeds derive from the
+// campaign seed and job index, the job grid is re-expanded locally
+// from the spec in each lease, and results are reported in canonical
+// (timing-free) form — so any fleet of campaignw processes produces
+// the same merged bytes as a single cmd/campaign run.
+//
+// Crash behaviour: a killed worker simply stops heartbeating; its
+// lease expires on the coordinator and the shard re-issues with the
+// already-reported results intact. Restarting the worker (same or
+// different -id) resumes from the remainder.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"grinch/internal/campaignd/worker"
+	"grinch/internal/experiments"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "http://127.0.0.1:8844", "campaignd coordinator base URL")
+		id      = flag.String("id", "", "worker identity (default host:pid)")
+		workers = flag.Int("workers", 0, "local pool size (0 = GOMAXPROCS)")
+		batch   = flag.Int("batch", worker.DefaultBatch, "results per report batch")
+		poll    = flag.Duration("poll", worker.DefaultPoll, "idle sleep between lease attempts")
+		drain   = flag.Bool("drain", false, "exit once the coordinator reports all campaigns merged")
+		quiet   = flag.Bool("quiet", false, "suppress operator logs on stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fatalf("unexpected arguments %v", flag.Args())
+	}
+
+	wid := *id
+	if wid == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		wid = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "campaignw: "+format+"\n", args...)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := worker.Run(ctx, worker.Config{
+		Server:  *server,
+		ID:      wid,
+		Exec:    experiments.Execute,
+		Workers: *workers,
+		Batch:   *batch,
+		Poll:    *poll,
+		Drain:   *drain,
+		Logf:    logf,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		logf("interrupted; lease (if any) will expire and re-issue in the coordinator")
+		os.Exit(130)
+	default:
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "campaignw: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -145,9 +145,12 @@ func DefaultDeterministicPkgs() []string {
 		"internal/oracle",
 		"internal/faults",
 		"internal/campaign",
+		"internal/campaignd",
 		"internal/experiments",
 		"internal/obs",
 		"cmd/campaign",
+		"cmd/campaignd",
+		"cmd/campaignw",
 		"cmd/experiments",
 		"cmd/grinch",
 		"cmd/traceview",

@@ -628,3 +628,98 @@ func TestRunRejectsInvalidSpec(t *testing.T) {
 		t.Fatal("kindless spec accepted")
 	}
 }
+
+// TestFailureAccountingAcrossResume pins the -keep-going accounting
+// contract: a failed job is counted exactly once no matter how many
+// runs replay it from the journal. Replayed failures land in
+// Report.FailedReplayed (never in Report.Failed), and the metrics'
+// jobs_failed counter is seeded with them instead of re-counting them
+// as they pass through the sinks.
+func TestFailureAccountingAcrossResume(t *testing.T) {
+	spec := testSpec()
+	total := spec.NumJobs()
+	jobs := spec.Jobs()
+	journal := filepath.Join(t.TempDir(), "toy.journal")
+
+	// Hand-journal the first half of the grid: every third job failed.
+	j, prior, err := OpenJournal(journal, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(prior))
+	}
+	half := total / 2
+	priorFailed := 0
+	for i := 0; i < half; i++ {
+		r := Result{Job: jobs[i].Index, Point: jobs[i].Point, Seed: jobs[i].Seed}
+		if i%3 == 0 {
+			r.Failed = true
+			r.Err = "injected (previous run)"
+			priorFailed++
+		} else {
+			m, _ := toyExec(jobs[i], nil)
+			r.Measurement = m
+		}
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: the second half executes, with fresh failures of its own.
+	wantExecFailed := 0
+	for i := half; i < total; i++ {
+		if i%5 == 0 {
+			wantExecFailed++
+		}
+	}
+	exec := func(job Job, tr obs.Tracer) (Measurement, error) {
+		if job.Index < half {
+			t.Errorf("journaled job %d re-executed", job.Index)
+		}
+		if job.Index%5 == 0 {
+			return Measurement{}, fmt.Errorf("injected (this run)")
+		}
+		return toyExec(job, tr)
+	}
+	metrics := NewMetrics()
+	rep, err := Run(context.Background(), spec, exec,
+		Options{Workers: 4, Journal: journal, Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != half || rep.Executed != total-half {
+		t.Fatalf("skipped %d executed %d, want %d and %d", rep.Skipped, rep.Executed, half, total-half)
+	}
+	if rep.FailedReplayed != priorFailed {
+		t.Fatalf("FailedReplayed = %d, want %d", rep.FailedReplayed, priorFailed)
+	}
+	if rep.Failed != wantExecFailed {
+		t.Fatalf("Failed = %d, want %d (executed failures only)", rep.Failed, wantExecFailed)
+	}
+	if got := metrics.Snapshot().JobsFailed; got != uint64(priorFailed+wantExecFailed) {
+		t.Fatalf("jobs_failed = %d, want %d (each failed job once)", got, priorFailed+wantExecFailed)
+	}
+
+	// A second resume replays everything: all failures move to
+	// FailedReplayed, none are executed, and jobs_failed stays the same
+	// — not doubled.
+	metrics2 := NewMetrics()
+	rep2, err := Run(context.Background(), spec, exec,
+		Options{Workers: 4, Journal: journal, Metrics: metrics2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Executed != 0 || rep2.Failed != 0 {
+		t.Fatalf("full replay executed %d (failed %d), want none", rep2.Executed, rep2.Failed)
+	}
+	if rep2.FailedReplayed != priorFailed+wantExecFailed {
+		t.Fatalf("full replay FailedReplayed = %d, want %d", rep2.FailedReplayed, priorFailed+wantExecFailed)
+	}
+	if got := metrics2.Snapshot().JobsFailed; got != uint64(priorFailed+wantExecFailed) {
+		t.Fatalf("full replay jobs_failed = %d, want %d (not double-counted)", got, priorFailed+wantExecFailed)
+	}
+}

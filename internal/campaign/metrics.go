@@ -35,6 +35,9 @@ func NewMetrics() *Metrics { return &Metrics{} }
 type Snapshot struct {
 	// JobsTotal is the grid size; JobsDone counts executed jobs this
 	// run (failures included); JobsSkipped counts journal-resumed jobs.
+	// JobsFailed counts each failed job in the grid exactly once:
+	// failures replayed from the journal plus failures executed this
+	// run — a resumed job is never double-counted.
 	JobsTotal   uint64 `json:"jobs_total"`
 	JobsDone    uint64 `json:"jobs_done"`
 	JobsFailed  uint64 `json:"jobs_failed"`
@@ -77,9 +80,14 @@ func (m *Metrics) String() string {
 	return string(b)
 }
 
-func (m *Metrics) begin(total, skipped int) {
+// begin seeds the counters for a run. priorFailed is how many of the
+// skipped (journal-replayed) jobs had failed: seeding jobsFailed with
+// it — instead of re-counting replays as they pass through the sinks —
+// is what keeps a resumed failure counted exactly once.
+func (m *Metrics) begin(total, skipped, priorFailed int) {
 	m.jobsTotal.Store(uint64(total))
 	m.jobsSkipped.Store(uint64(skipped))
+	m.jobsFailed.Store(uint64(priorFailed))
 	m.queueDepth.Store(int64(total - skipped))
 }
 

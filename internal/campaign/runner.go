@@ -41,6 +41,11 @@ type Report struct {
 	// Total is the grid size; Skipped were replayed from the journal;
 	// Executed ran this time (Failed of them unsuccessfully).
 	Total, Skipped, Executed, Failed int
+	// FailedReplayed counts journal-replayed failures — jobs that failed
+	// in an earlier run and were not re-executed. A job is counted in
+	// Failed or in FailedReplayed, never both, so the run's true failure
+	// count is always Failed + FailedReplayed.
+	FailedReplayed int
 	// Delivered is how many results reached the sinks — the full grid
 	// on a completed run, an index-prefix on an interrupted one.
 	Delivered int
@@ -93,12 +98,16 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 		defer journal.Close()
 	}
 	pending := make([]Job, 0, len(jobs))
+	failedReplayed := 0
 	for _, j := range jobs {
-		if _, done := prior[j.Index]; !done {
+		r, done := prior[j.Index]
+		if !done {
 			pending = append(pending, j)
+		} else if r.Failed {
+			failedReplayed++
 		}
 	}
-	metrics.begin(len(jobs), len(prior))
+	metrics.begin(len(jobs), len(prior), failedReplayed)
 
 	sinks := multiSink(opts.Sinks)
 	if err := sinks.Begin(spec, len(jobs)); err != nil {
@@ -187,7 +196,7 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 	progress(skipped)
 	deliver()
 
-	rep := Report{Spec: spec, Total: len(jobs), Skipped: skipped}
+	rep := Report{Spec: spec, Total: len(jobs), Skipped: skipped, FailedReplayed: failedReplayed}
 	var journalErr error
 	for tr := range resCh {
 		res := tr.Result

@@ -1,0 +1,147 @@
+package campaignd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"grinch/internal/campaign"
+)
+
+// ErrLeaseGone reports that the server revoked the lease a call
+// carried (expiry + re-issue): the worker must abandon the shard and
+// lease a fresh one.
+var ErrLeaseGone = errors.New("campaignd: lease revoked")
+
+// Client is a thin JSON/HTTP client for the coordinator API, used by
+// the shard worker, the CLIs, and the tests.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:8844".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post round-trips one JSON request; out may be nil.
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.url(path), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return c.finish(resp, out)
+}
+
+// get round-trips one GET.
+func (c *Client) get(path string, out any) error {
+	resp, err := c.httpClient().Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	return c.finish(resp, out)
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.Base, "/") + path
+}
+
+func (c *Client) finish(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusGone {
+		return ErrLeaseGone
+	}
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("campaignd: server: %s", e.Error)
+		}
+		return fmt.Errorf("campaignd: server returned %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit registers a campaign.
+func (c *Client) Submit(req SubmitRequest) (SubmitResponse, error) {
+	var resp SubmitResponse
+	err := c.post(PathCampaigns, req, &resp)
+	return resp, err
+}
+
+// Lease asks for a shard; a nil Lease with AllDone reports a drained
+// coordinator.
+func (c *Client) Lease(worker string) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.post(PathLease, LeaseRequest{Worker: worker}, &resp)
+	return resp, err
+}
+
+// Report streams a result batch for a leased shard.
+func (c *Client) Report(leaseID string, results []campaign.Result) error {
+	return c.post(PathResults, ReportRequest{Lease: leaseID, Results: results}, nil)
+}
+
+// Heartbeat extends a lease.
+func (c *Client) Heartbeat(leaseID string) error {
+	return c.post(PathHeartbeat, HeartbeatRequest{Lease: leaseID}, nil)
+}
+
+// Complete marks a leased shard fully executed.
+func (c *Client) Complete(leaseID string) error {
+	return c.post(PathComplete, CompleteRequest{Lease: leaseID}, nil)
+}
+
+// Statuses lists every campaign.
+func (c *Client) Statuses() ([]CampaignStatus, error) {
+	var out []CampaignStatus
+	err := c.get(PathCampaigns, &out)
+	return out, err
+}
+
+// Status fetches one campaign with shard detail.
+func (c *Client) Status(id string) (CampaignStatus, error) {
+	var out CampaignStatus
+	err := c.get(PathCampaigns+"/"+id, &out)
+	return out, err
+}
+
+// Output fetches a merged campaign's canonical JSONL bytes.
+func (c *Client) Output(id string) ([]byte, error) {
+	resp, err := c.httpClient().Get(c.url(PathCampaigns + "/" + id + "/output"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("campaignd: server: %s", e.Error)
+		}
+		return nil, fmt.Errorf("campaignd: server returned %s", resp.Status)
+	}
+	return data, nil
+}

@@ -1,0 +1,160 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeHTTP makes the coordinator an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// buildMux wires the JSON API, the human status page, and the debug
+// surface (expvar + pprof — the -debug-addr endpoint from the
+// single-process CLI, grown into the server proper).
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathCampaigns, s.handleSubmit)
+	mux.HandleFunc("GET "+PathCampaigns, s.handleList)
+	mux.HandleFunc("GET "+PathCampaigns+"/{id}", s.handleCampaign)
+	mux.HandleFunc("GET "+PathCampaigns+"/{id}/output", s.handleOutput)
+	mux.HandleFunc("POST "+PathLease, s.handleLease)
+	mux.HandleFunc("POST "+PathResults, s.handleResults)
+	mux.HandleFunc("POST "+PathHeartbeat, s.handleHeartbeat)
+	mux.HandleFunc("POST "+PathComplete, s.handleComplete)
+	mux.HandleFunc("GET "+PathStatus, s.handleStatusPage)
+	mux.HandleFunc("GET /", s.handleRoot)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// errCode maps a server error onto its HTTP status: fencing failures
+// are 410 Gone (the worker must abandon the shard), everything else is
+// a 409 the worker may surface.
+func errCode(err error) int {
+	if le, ok := err.(*leaseErr); ok && le.gone {
+		return http.StatusGone
+	}
+	return http.StatusConflict
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var v T
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return v, false
+	}
+	return v, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[SubmitRequest](w, r)
+	if !ok {
+		return
+	}
+	resp, err := s.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statuses())
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	out, err := s.Output(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.Write(out)
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[LeaseRequest](w, r)
+	if !ok {
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "lease request needs a worker id")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Acquire(req.Worker))
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[ReportRequest](w, r)
+	if !ok {
+		return
+	}
+	if err := s.Ingest(req.Lease, req.Results); err != nil {
+		writeError(w, errCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[HeartbeatRequest](w, r)
+	if !ok {
+		return
+	}
+	if err := s.Heartbeat(req.Lease); err != nil {
+		writeError(w, errCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[CompleteRequest](w, r)
+	if !ok {
+		return
+	}
+	if err := s.Complete(req.Lease); err != nil {
+		writeError(w, errCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	http.Redirect(w, r, PathStatus, http.StatusFound)
+}

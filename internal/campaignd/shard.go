@@ -1,0 +1,54 @@
+package campaignd
+
+import "fmt"
+
+// ShardRange is one shard's slice of a campaign's canonical job order:
+// the half-open index interval [Start, End). Shards are contiguous and
+// cover the grid exactly, so concatenating shard outputs in shard order
+// reproduces job-index order — the property the merge step relies on
+// for byte-determinism.
+type ShardRange struct {
+	Shard int `json:"shard"`
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the number of jobs in the shard.
+func (r ShardRange) Len() int { return r.End - r.Start }
+
+// Contains reports whether job index i falls in the shard.
+func (r ShardRange) Contains(i int) bool { return i >= r.Start && i < r.End }
+
+func (r ShardRange) String() string {
+	return fmt.Sprintf("shard %d [%d,%d)", r.Shard, r.Start, r.End)
+}
+
+// Partition splits a grid of numJobs jobs into contiguous shards of at
+// most shardSize jobs each. The partition is a pure function of
+// (numJobs, shardSize): the same spec sharded on any coordinator, any
+// day, yields the same shard table, so shard identity is stable across
+// server restarts and journal reloads. shardSize <= 0 falls back to
+// DefaultShardSize; an empty grid yields no shards.
+func Partition(numJobs, shardSize int) []ShardRange {
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	if numJobs <= 0 {
+		return nil
+	}
+	shards := make([]ShardRange, 0, (numJobs+shardSize-1)/shardSize)
+	for start := 0; start < numJobs; start += shardSize {
+		end := start + shardSize
+		if end > numJobs {
+			end = numJobs
+		}
+		shards = append(shards, ShardRange{Shard: len(shards), Start: start, End: end})
+	}
+	return shards
+}
+
+// DefaultShardSize balances lease-protocol overhead against re-issue
+// cost on node loss: big enough that workers spend their time executing
+// rather than leasing, small enough that losing a node forfeits at most
+// a few seconds of work at typical per-job costs.
+const DefaultShardSize = 64

@@ -1,0 +1,59 @@
+package campaignd
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		jobs, size int
+		want       []ShardRange
+	}{
+		{0, 4, nil},
+		{1, 4, []ShardRange{{0, 0, 1}}},
+		{4, 4, []ShardRange{{0, 0, 4}}},
+		{5, 4, []ShardRange{{0, 0, 4}, {1, 4, 5}}},
+		{10, 3, []ShardRange{{0, 0, 3}, {1, 3, 6}, {2, 6, 9}, {3, 9, 10}}},
+	}
+	for _, c := range cases {
+		got := Partition(c.jobs, c.size)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Partition(%d, %d) = %v, want %v", c.jobs, c.size, got, c.want)
+		}
+	}
+}
+
+// TestPartitionCoversGrid pins the merge-order precondition: shards
+// are contiguous, non-overlapping, in order, and cover [0, numJobs)
+// exactly — for any size, including one that does not divide the grid.
+func TestPartitionCoversGrid(t *testing.T) {
+	for _, jobs := range []int{1, 7, 64, 100, 1000} {
+		for _, size := range []int{1, 3, 64, 1000} {
+			shards := Partition(jobs, size)
+			next := 0
+			for i, sh := range shards {
+				if sh.Shard != i {
+					t.Fatalf("jobs=%d size=%d: shard %d numbered %d", jobs, size, i, sh.Shard)
+				}
+				if sh.Start != next || sh.End <= sh.Start || sh.Len() > size {
+					t.Fatalf("jobs=%d size=%d: bad range %v after index %d", jobs, size, sh, next)
+				}
+				next = sh.End
+			}
+			if next != jobs {
+				t.Fatalf("jobs=%d size=%d: partition covers [0,%d), want [0,%d)", jobs, size, next, jobs)
+			}
+		}
+	}
+}
+
+func TestPartitionDefaultsAndDeterminism(t *testing.T) {
+	if got := Partition(100, 0); got[0].Len() != DefaultShardSize {
+		t.Fatalf("size 0 did not fall back to DefaultShardSize: %v", got[0])
+	}
+	a, b := Partition(12345, 77), Partition(12345, 77)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("partition is not deterministic")
+	}
+}

@@ -1,0 +1,235 @@
+// Package worker is the pull-based shard executor of the distributed
+// campaign service: it leases one shard at a time from a campaignd
+// coordinator, executes the shard's jobs on a local bounded pool
+// (campaign.ExecuteJobs), streams result batches back, and heartbeats
+// to keep the lease alive.
+//
+// Determinism is inherited, not re-implemented: the worker re-expands
+// the canonical job grid from the spec in its lease (a pure function
+// of the spec), slices its shard range, skips the indices the lease
+// reports already done, and every result it computes is the same bytes
+// any other node would compute. Crash-safety is the coordinator's
+// journal plus this pull loop: a worker that dies mid-shard simply
+// stops heartbeating, the lease expires, and the next worker resumes
+// the shard where the ingested results end.
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"grinch/internal/campaign"
+	"grinch/internal/campaignd"
+)
+
+// Config configures a worker process.
+type Config struct {
+	// Server is the coordinator's base URL.
+	Server string
+	// ID is the worker's identity in leases and status displays.
+	ID string
+	// Exec runs one job (experiments.Execute in production; tests
+	// substitute toys). Tracing is not threaded through the distributed
+	// path, so Exec always receives a nil tracer.
+	Exec campaign.Executor
+	// Workers bounds the local pool (0: GOMAXPROCS).
+	Workers int
+	// Batch is how many results accumulate before a report flush (0:
+	// DefaultBatch). Smaller batches lose less to a crash; larger ones
+	// amortize round-trips.
+	Batch int
+	// Poll is the idle sleep between lease attempts when the
+	// coordinator has no pending shard (0: DefaultPoll).
+	Poll time.Duration
+	// Drain, when set, exits the loop cleanly once the coordinator
+	// reports every campaign merged. Otherwise the worker keeps
+	// polling for future submissions.
+	Drain bool
+	// ConnectRetries bounds consecutive failed lease round-trips
+	// (coordinator down or not yet listening) before giving up (0:
+	// DefaultConnectRetries). Each failure sleeps one Poll.
+	ConnectRetries int
+	// Logf receives operator log lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// client overrides the HTTP client (tests).
+	client *campaignd.Client
+}
+
+// Defaults.
+const (
+	DefaultBatch          = 16
+	DefaultPoll           = 250 * time.Millisecond
+	DefaultConnectRetries = 40
+)
+
+// Run executes the pull loop until ctx is cancelled, the coordinator
+// drains (Config.Drain), or repeated connection failures exhaust the
+// retry budget. A cancelled context is a clean shutdown: the current
+// shard is abandoned un-completed and its lease left to expire (the
+// coordinator keeps every result already reported).
+func Run(ctx context.Context, cfg Config) error {
+	if cfg.Exec == nil {
+		return errors.New("worker: Config.Exec is required")
+	}
+	if cfg.ID == "" {
+		return errors.New("worker: Config.ID is required")
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatch
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultPoll
+	}
+	if cfg.ConnectRetries <= 0 {
+		cfg.ConnectRetries = DefaultConnectRetries
+	}
+	client := cfg.client
+	if client == nil {
+		client = &campaignd.Client{Base: cfg.Server}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := client.Lease(cfg.ID)
+		if err != nil {
+			failures++
+			if failures >= cfg.ConnectRetries {
+				return fmt.Errorf("worker %s: leasing: %w (after %d attempts)", cfg.ID, err, failures)
+			}
+			logf("worker %s: leasing: %v (retrying)", cfg.ID, err)
+			if !sleepCtx(ctx, cfg.Poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		failures = 0
+		if resp.Lease == nil {
+			if cfg.Drain && resp.AllDone {
+				logf("worker %s: coordinator drained; exiting", cfg.ID)
+				return nil
+			}
+			if !sleepCtx(ctx, cfg.Poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := runShard(ctx, cfg, client, logf, resp.Lease); err != nil {
+			if errors.Is(err, campaignd.ErrLeaseGone) {
+				// The coordinator re-issued the shard (our heartbeats were
+				// too late); whatever we reported is kept, the rest is the
+				// next holder's problem.
+				logf("worker %s: lease %s revoked mid-shard; abandoning", cfg.ID, resp.Lease.ID)
+				continue
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done, reporting whether the sleep
+// completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runShard executes one leased shard: expand, skip done, execute,
+// batch-report, complete.
+func runShard(ctx context.Context, cfg Config, client *campaignd.Client, logf func(string, ...any), l *campaignd.Lease) error {
+	all := l.Spec.Jobs()
+	if l.End > len(all) {
+		return fmt.Errorf("worker %s: lease %s range [%d,%d) exceeds grid size %d", cfg.ID, l.ID, l.Start, l.End, len(all))
+	}
+	done := make(map[int]bool, len(l.DoneJobs))
+	for _, idx := range l.DoneJobs {
+		done[idx] = true
+	}
+	jobs := make([]campaign.Job, 0, l.Len())
+	for _, j := range all[l.Start:l.End] {
+		if !done[j.Index] {
+			jobs = append(jobs, j)
+		}
+	}
+	logf("worker %s: lease %s: %s %s — %d jobs (%d resumed)", cfg.ID, l.ID, l.Campaign, l.ShardRange, len(jobs), len(l.DoneJobs))
+
+	// Heartbeat at a third of the TTL until the shard is finished. A
+	// revoked lease cancels the shard so in-flight jobs stop feeding a
+	// dead lease.
+	shardCtx, stopShard := context.WithCancelCause(ctx)
+	defer stopShard(nil)
+	ttl := time.Duration(l.TTLMS) * time.Millisecond
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-tick.C:
+				if err := client.Heartbeat(l.ID); err != nil {
+					if errors.Is(err, campaignd.ErrLeaseGone) {
+						stopShard(campaignd.ErrLeaseGone)
+						return
+					}
+					logf("worker %s: heartbeat: %v", cfg.ID, err)
+				}
+			}
+		}
+	}()
+
+	batch := make([]campaign.Result, 0, cfg.Batch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := client.Report(l.ID, batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	execErr := campaign.ExecuteJobs(shardCtx, jobs, cfg.Exec, cfg.Workers, func(r campaign.Result) error {
+		batch = append(batch, r)
+		if len(batch) >= cfg.Batch {
+			return flush()
+		}
+		return nil
+	})
+	stopShard(nil)
+	<-hbDone
+	if cause := context.Cause(shardCtx); errors.Is(cause, campaignd.ErrLeaseGone) {
+		return campaignd.ErrLeaseGone
+	}
+	if execErr != nil {
+		return execErr
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := client.Complete(l.ID); err != nil {
+		return err
+	}
+	logf("worker %s: lease %s complete", cfg.ID, l.ID)
+	return nil
+}
