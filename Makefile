@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint baseline build test race bench bench-json quick
+.PHONY: check vet lint lint-quant baseline build test race bench bench-json quick
 
-check: vet lint build race
+check: vet lint lint-quant build race
 
 vet:
 	$(GO) vet ./...
@@ -14,9 +14,17 @@ vet:
 lint:
 	$(GO) run ./cmd/grinchvet ./...
 
+# The quantitative gate: every leakage finding must carry a resolved
+# bits-per-observation estimate (baseline-checked in quant mode), and
+# the static model must agree with the measured convergence of the
+# committed Fig. 3 fixture trace within tolerance. Drift in either the
+# analyzer's geometry model or the attack core fails the build.
+lint-quant:
+	$(GO) run ./cmd/grinchvet -quant -quant-check internal/obs/report/testdata/trace.jsonl ./...
+
 # Accept the current finding set as the new baseline (review the diff!).
 baseline:
-	$(GO) run ./cmd/grinchvet -write-baseline ./...
+	$(GO) run ./cmd/grinchvet -quant -write-baseline ./...
 
 build:
 	$(GO) build ./...

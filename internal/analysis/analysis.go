@@ -61,6 +61,9 @@ type Finding struct {
 	Detail string `json:"detail,omitempty"`
 	// Message is the full human-readable diagnostic.
 	Message string `json:"message"`
+	// Quant is the quantitative leakage estimate, attached to leakage
+	// findings when Config.Quant is set (see quant.go).
+	Quant *Quant `json:"quant,omitempty"`
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -81,7 +84,9 @@ type Pass struct {
 
 // Report records a finding at the given node. fn is the enclosing
 // function name ("" for package scope), detail the stable short form.
-func (p *Pass) Report(rule string, sev Severity, node ast.Node, fn, detail, message string) {
+// The returned pointer lets the caller attach optional fields (Quant);
+// it is invalidated by the next Report call, so use it immediately.
+func (p *Pass) Report(rule string, sev Severity, node ast.Node, fn, detail, message string) *Finding {
 	pos := p.Pkg.Fset.Position(node.Pos())
 	*p.findings = append(*p.findings, Finding{
 		Rule:     rule,
@@ -94,6 +99,7 @@ func (p *Pass) Report(rule string, sev Severity, node ast.Node, fn, detail, mess
 		Detail:   detail,
 		Message:  message,
 	})
+	return &(*p.findings)[len(*p.findings)-1]
 }
 
 // Analyzer is one registered pass.
@@ -126,6 +132,12 @@ type Config struct {
 	DeterministicPkgs []string
 	// Rules restricts emission to the named rules; empty means all.
 	Rules []string
+	// Quant enables the quantitative leakage model: leakage findings
+	// carry bits-per-observation estimates (see quant.go).
+	Quant bool
+	// QuantLineBytes is the modeled cache-line size in bytes for the
+	// quant model; 0 means DefaultQuantLineBytes.
+	QuantLineBytes int
 }
 
 // DefaultDeterministicPkgs lists the package trees (module-relative)
@@ -148,6 +160,7 @@ func DefaultDeterministicPkgs() []string {
 		"internal/campaignd",
 		"internal/experiments",
 		"internal/obs",
+		"internal/analysis/quantcheck",
 		"cmd/campaign",
 		"cmd/campaignd",
 		"cmd/campaignw",

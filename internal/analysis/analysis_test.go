@@ -10,9 +10,12 @@ import (
 // testdata/src is loaded standalone, analyzed, and its findings matched
 // against `// want "regexp"` marker comments. A finding matches a want
 // on the same file and line whose pattern matches "rule: message";
-// unmatched wants and unexpected findings both fail.
+// unmatched wants and unexpected findings both fail. A comment may
+// carry several quoted patterns (`// want "a" "b"`) for lines that
+// produce several findings.
 
-var wantRE = regexp.MustCompile(`//\s*want "([^"]+)"`)
+var wantRE = regexp.MustCompile(`"([^"]+)"`)
+var wantLineRE = regexp.MustCompile(`//\s*want "`)
 
 type wantMark struct {
 	file string
@@ -27,16 +30,17 @@ func collectWants(t *testing.T, pkg *Package) []*wantMark {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
+				if !wantLineRE.MatchString(c.Text) {
 					continue
 				}
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &wantMark{file: pos.Filename, line: pos.Line, re: re})
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				wants = append(wants, &wantMark{file: pos.Filename, line: pos.Line, re: re})
 			}
 		}
 	}
@@ -78,6 +82,12 @@ func TestLeakTableFixture(t *testing.T) { runFixture(t, "leaktable", Config{}) }
 func TestCleanBitslicedFixture(t *testing.T) { runFixture(t, "cleanbits", Config{}) }
 
 func TestSuppressionFixture(t *testing.T) { runFixture(t, "suppress", Config{}) }
+
+func TestSuppressionEdgeFixture(t *testing.T) { runFixture(t, "suppressedge", Config{}) }
+
+func TestGeometryFixture(t *testing.T) {
+	runFixture(t, "geom", Config{Quant: true, QuantLineBytes: 1})
+}
 
 func TestTaintFlowFixture(t *testing.T) { runFixture(t, "taintflow", Config{}) }
 

@@ -24,6 +24,15 @@ import (
 // code do not invalidate the ledger. Identical records may repeat: the
 // comparison is a multiset match, so even adding a second lookup that
 // produces an identical key is caught.
+//
+// The v2 format (written by -quant -write-baseline) appends a fifth,
+// informational column carrying the quantitative leakage estimate:
+//
+//	rule<TAB>file<TAB>func<TAB>detail<TAB>entries=16 bytes=1 lines=16 bits=4.00
+//
+// The quant column is NOT part of the identity: matching still uses
+// the first four fields only, so a model recalibration never
+// invalidates the ledger, and v1 files keep parsing unchanged.
 
 // BaselineKey is the stable identity of a finding.
 func BaselineKey(root string, f Finding) string {
@@ -54,27 +63,38 @@ func parseBaseline(r io.Reader) (map[string]int, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if strings.Count(line, "\t") != 3 {
-			return nil, fmt.Errorf("analysis: malformed baseline line %q (want rule\\tfile\\tfunc\\tdetail)", line)
+		switch strings.Count(line, "\t") {
+		case 3: // v1: rule, file, func, detail
+			set[line]++
+		case 4: // v2: + informational quant column, dropped from the key
+			key := line[:strings.LastIndex(line, "\t")]
+			set[key]++
+		default:
+			return nil, fmt.Errorf("analysis: malformed baseline line %q (want rule\\tfile\\tfunc\\tdetail[\\tquant])", line)
 		}
-		set[line]++
 	}
 	return set, sc.Err()
 }
 
 // WriteBaseline writes the findings' keys as a sorted baseline file.
+// Findings carrying quant estimates (a -quant run) are written in the
+// v2 format with the informational fifth column.
 func WriteBaseline(path, root string, findings []Finding) error {
-	keys := make([]string, 0, len(findings))
+	lines := make([]string, 0, len(findings))
 	for _, f := range findings {
-		keys = append(keys, BaselineKey(root, f))
+		line := BaselineKey(root, f)
+		if f.Quant != nil {
+			line += "\t" + f.Quant.BaselineColumn()
+		}
+		lines = append(lines, line)
 	}
-	sort.Strings(keys)
+	sort.Strings(lines)
 	var b strings.Builder
 	b.WriteString("# grinchvet baseline — accepted findings, one per line:\n")
-	b.WriteString("# rule\tfile\tfunc\tdetail\n")
-	b.WriteString("# Regenerate with: go run ./cmd/grinchvet -write-baseline ./...\n")
-	for _, k := range keys {
-		b.WriteString(k)
+	b.WriteString("# rule\tfile\tfunc\tdetail[\tquant]\n")
+	b.WriteString("# Regenerate with: go run ./cmd/grinchvet -quant -write-baseline ./...\n")
+	for _, l := range lines {
+		b.WriteString(l)
 		b.WriteByte('\n')
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
@@ -83,7 +103,10 @@ func WriteBaseline(path, root string, findings []Finding) error {
 // Diff splits findings into new (not covered by the baseline) and
 // returns the stale baseline entries (recorded but no longer produced).
 // Coverage is multiset-style: N identical keys in the baseline cover at
-// most N identical findings.
+// most N identical findings. Both outputs are deterministically
+// ordered — fresh by (rule, pkg, func, detail, file, line), stale
+// lexically (keys lead with the rule) — so CI mismatch logs are stable
+// and diffable across runs.
 func Diff(findings []Finding, baseline map[string]int, root string) (fresh []Finding, stale []string) {
 	remaining := make(map[string]int, len(baseline))
 	for k, n := range baseline {
@@ -97,6 +120,28 @@ func Diff(findings []Finding, baseline map[string]int, root string) (fresh []Fin
 		}
 		fresh = append(fresh, f)
 	}
+	sort.Slice(fresh, func(i, j int) bool {
+		a, b := fresh[i], fresh[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Detail != b.Detail {
+			return a.Detail < b.Detail
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
 	for k, n := range remaining {
 		for i := 0; i < n; i++ {
 			stale = append(stale, k)

@@ -326,7 +326,9 @@ func (ta *taintAnalysis) calleeObject(call *ast.CallExpr) types.Object {
 	return nil
 }
 
-// report walks the solved function and emits findings.
+// report walks the solved function and emits findings. In quant mode
+// every finding carries its quantitative estimate (quant.go) and the
+// message gains the bracketed bits-per-observation annotation.
 func (ta *taintAnalysis) report(body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch t := n.(type) {
@@ -336,28 +338,41 @@ func (ta *taintAnalysis) report(body *ast.BlockStmt) {
 				if base == "" {
 					base = "expression"
 				}
-				ta.pass.Report("secret-index", SeverityError, t, ta.fn, base,
-					fmt.Sprintf("memory access into %s indexed by secret-dependent value %s",
-						base, describeExpr(t.Index)))
+				var q *Quant
+				if ta.pass.Config.Quant {
+					q = quantForIndex(ta.pass, t.X)
+				}
+				f := ta.pass.Report("secret-index", SeverityError, t, ta.fn, base,
+					fmt.Sprintf("memory access into %s indexed by secret-dependent value %s%s",
+						base, describeExpr(t.Index), q.suffix()))
+				f.Quant = q
 			}
 		case *ast.IfStmt:
 			if ta.exprTainted(t.Cond) {
-				ta.pass.Report("secret-branch", SeverityError, t.Cond, ta.fn, describeExpr(t.Cond),
-					fmt.Sprintf("branch condition %s depends on secret data", describeExpr(t.Cond)))
+				ta.reportBranch(t.Cond, fmt.Sprintf("branch condition %s depends on secret data", describeExpr(t.Cond)))
 			}
 		case *ast.SwitchStmt:
 			if t.Tag != nil && ta.exprTainted(t.Tag) {
-				ta.pass.Report("secret-branch", SeverityError, t.Tag, ta.fn, describeExpr(t.Tag),
-					fmt.Sprintf("switch on secret-dependent value %s", describeExpr(t.Tag)))
+				ta.reportBranch(t.Tag, fmt.Sprintf("switch on secret-dependent value %s", describeExpr(t.Tag)))
 			}
 		case *ast.ForStmt:
 			if t.Cond != nil && ta.exprTainted(t.Cond) {
-				ta.pass.Report("secret-branch", SeverityError, t.Cond, ta.fn, describeExpr(t.Cond),
-					fmt.Sprintf("loop condition %s depends on secret data", describeExpr(t.Cond)))
+				ta.reportBranch(t.Cond, fmt.Sprintf("loop condition %s depends on secret data", describeExpr(t.Cond)))
 			}
 		}
 		return true
 	})
+}
+
+// reportBranch emits one secret-branch finding with the 1-bit quant
+// model attached in quant mode.
+func (ta *taintAnalysis) reportBranch(cond ast.Expr, message string) {
+	var q *Quant
+	if ta.pass.Config.Quant {
+		q = quantForBranch()
+	}
+	f := ta.pass.Report("secret-branch", SeverityError, cond, ta.fn, describeExpr(cond), message+q.suffix())
+	f.Quant = q
 }
 
 // indexable reports whether indexing e is a memory access worth

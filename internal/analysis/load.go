@@ -46,6 +46,9 @@ type World struct {
 	secrets *secretTable
 	// ignores maps file name -> line -> ignored rules (ignore.go).
 	ignores map[string]map[int][]string
+	// geoms is the container-geometry table for the quant model
+	// (quant.go): declaration-inferred and annotated sizes.
+	geoms map[types.Object]Geometry
 }
 
 // PackageByPath returns a loaded package, or nil.
@@ -232,6 +235,7 @@ func LoadPackageDir(dir, importPath string) (*World, *Package, error) {
 // finish builds the world-level derived tables once all packages are in.
 func (w *World) finish() {
 	w.secrets = collectSecrets(w)
+	w.geoms = collectGeometries(w)
 	for _, pkg := range w.Pkgs {
 		collectIgnores(w, pkg)
 	}

@@ -1,0 +1,526 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"grinch/internal/cache"
+)
+
+// The quantitative leakage model turns the boolean leakage findings
+// into bits-per-observation estimates, the quantity the GRINCH
+// convergence curves actually measure. For a secret-index finding the
+// model is table geometry: a table of E entries of B bytes spans
+// L = ⌈E·B / lineBytes⌉ cache lines, so one probe observation of the
+// access — learning which line was touched — yields at most
+// log2(min(L, E)) bits about the index (the min caps the estimate at
+// the index's own entropy: when an entry spans several lines, the
+// extra lines resolve the offset within the entry, not the index).
+// A secret-branch finding is a 1-bit channel per evaluation.
+//
+// Geometry is resolved statically:
+//
+//   - array types carry their length in the type ([16]uint8 → 16×1B);
+//   - package-level or local slices declared with a composite literal
+//     or make([]T, constant) are sized from the declaration;
+//   - //grinch:geometry entries=E bytes=B on a var declaration is the
+//     escape hatch for containers the resolver cannot size (it also
+//     overrides the inferred geometry).
+//
+// Element sizes come from go/types with the gc/amd64 size model — the
+// tables this repository cares about are byte and word arrays, where
+// every mainstream model agrees.
+//
+// The closing half of the loop lives in internal/analysis/quantcheck:
+// the static estimate is checked against the measured
+// bits-eliminated-per-observation fitted from traced survivor curves.
+
+// geometryDirective is the annotation overriding geometry inference:
+//
+//	//grinch:geometry entries=16 bytes=1
+//
+// on a var declaration (GenDecl doc, ValueSpec doc or line comment).
+const geometryDirective = "grinch:geometry"
+
+// DefaultQuantLineBytes is the modeled cache-line size when the config
+// does not choose one: the paper's 1-byte word, the finest Table I
+// geometry (cache.PaperLineSizes()[0]).
+const DefaultQuantLineBytes = 1
+
+// Geometry is the static shape of an indexed container.
+type Geometry struct {
+	// Entries is the number of indexable entries; EntryBytes the size
+	// of one entry in bytes.
+	Entries    int64
+	EntryBytes int64
+	// Source records how the geometry was resolved: "array",
+	// "literal", "make" or "annotation".
+	Source string
+}
+
+// TableBytes is the container's total footprint.
+func (g Geometry) TableBytes() int64 { return g.Entries * g.EntryBytes }
+
+// Quant is the quantitative leakage estimate attached to a finding
+// when Config.Quant is set.
+type Quant struct {
+	// Entries/EntryBytes are the resolved container geometry
+	// (secret-index only; zero for branches and unresolved findings).
+	Entries    int64 `json:"entries,omitempty"`
+	EntryBytes int64 `json:"entry_bytes,omitempty"`
+	// LineBytes is the modeled cache-line size; LinesObservable the
+	// number of lines the container spans under it.
+	LineBytes       int   `json:"line_bytes,omitempty"`
+	LinesObservable int64 `json:"lines_observable,omitempty"`
+	// BitsPerObservation is the modeled per-observation yield:
+	// log2(min(LinesObservable, Entries)) for an index, 1 for a
+	// branch, 0 when the geometry is unresolved.
+	BitsPerObservation float64 `json:"bits_per_observation"`
+	// Source is the geometry provenance ("array", "literal", "make",
+	// "annotation"), "branch" for the 1-bit branch model, or
+	// "unresolved".
+	Source string `json:"geometry_source"`
+	// Resolved is false when the container could not be sized; the
+	// finding then needs a //grinch:geometry annotation to enter the
+	// budget.
+	Resolved bool `json:"resolved"`
+}
+
+// suffix renders the bracketed quant annotation appended to finding
+// messages in quant mode.
+func (q *Quant) suffix() string {
+	switch {
+	case q == nil:
+		return ""
+	case q.Source == "branch":
+		return fmt.Sprintf(" [%.2f bits/evaluation]", q.BitsPerObservation)
+	case !q.Resolved:
+		return " [geometry unresolved — annotate with //grinch:geometry]"
+	default:
+		return fmt.Sprintf(" [%d entries × %dB → %d lines @%dB, %.2f bits/obs]",
+			q.Entries, q.EntryBytes, q.LinesObservable, q.LineBytes, q.BitsPerObservation)
+	}
+}
+
+// BaselineColumn renders the quant column of a v2 baseline record.
+func (q *Quant) BaselineColumn() string {
+	switch {
+	case q == nil:
+		return ""
+	case q.Source == "branch":
+		return fmt.Sprintf("bits=%.2f", q.BitsPerObservation)
+	case !q.Resolved:
+		return "unresolved"
+	default:
+		return fmt.Sprintf("entries=%d bytes=%d lines=%d bits=%.2f",
+			q.Entries, q.EntryBytes, q.LinesObservable, q.BitsPerObservation)
+	}
+}
+
+// quantLineBytes returns the configured model line size.
+func (c Config) quantLineBytes() int {
+	if c.QuantLineBytes > 0 {
+		return c.QuantLineBytes
+	}
+	return DefaultQuantLineBytes
+}
+
+// quantForIndex builds the estimate for a secret-index finding on
+// container expression x.
+func quantForIndex(pass *Pass, x ast.Expr) *Quant {
+	lineBytes := pass.Config.quantLineBytes()
+	g, ok := resolveGeometry(pass.World, pass.Pkg.Info, x)
+	if !ok {
+		return &Quant{LineBytes: lineBytes, Source: "unresolved"}
+	}
+	return quantify(g, lineBytes)
+}
+
+// quantify applies the line model to a resolved geometry.
+func quantify(g Geometry, lineBytes int) *Quant {
+	lines := int64(cache.LinesSpanned(int(g.TableBytes()), lineBytes))
+	eff := lines
+	if g.Entries < eff {
+		eff = g.Entries
+	}
+	bits := 0.0
+	if eff > 1 {
+		bits = math.Log2(float64(eff))
+	}
+	return &Quant{
+		Entries:            g.Entries,
+		EntryBytes:         g.EntryBytes,
+		LineBytes:          lineBytes,
+		LinesObservable:    lines,
+		BitsPerObservation: bits,
+		Source:             g.Source,
+		Resolved:           true,
+	}
+}
+
+// quantForBranch is the secret-branch model: one bit per evaluation.
+func quantForBranch() *Quant {
+	return &Quant{BitsPerObservation: 1, Source: "branch", Resolved: true}
+}
+
+// resolveGeometry sizes the container behind an indexed expression:
+// annotation first, then the array type, then declaration inference.
+func resolveGeometry(w *World, info *types.Info, x ast.Expr) (Geometry, bool) {
+	obj := referencedObject(info, x)
+	if obj != nil {
+		if g, ok := w.geoms[obj]; ok && g.Source == "annotation" {
+			return g, true
+		}
+	}
+	if g, ok := geometryFromType(info, x); ok {
+		return g, true
+	}
+	if obj != nil {
+		if g, ok := w.geoms[obj]; ok {
+			return g, true
+		}
+	}
+	return Geometry{}, false
+}
+
+// geometryFromType sizes arrays (and pointers to arrays) from their
+// type alone — the length is part of the type, no declaration needed.
+// Rows of 2-D tables resolve here too: indexing [16][4]uint8 selects
+// among 16 entries of 4 bytes each.
+func geometryFromType(info *types.Info, x ast.Expr) (Geometry, bool) {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return Geometry{}, false
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	arr, ok := t.(*types.Array)
+	if !ok {
+		return Geometry{}, false
+	}
+	sz := sizeOf(arr.Elem())
+	if sz <= 0 || arr.Len() <= 0 {
+		return Geometry{}, false
+	}
+	return Geometry{Entries: arr.Len(), EntryBytes: sz, Source: "array"}, true
+}
+
+// referencedObject resolves the variable an expression names, if any.
+func referencedObject(info *types.Info, x ast.Expr) types.Object {
+	switch t := x.(type) {
+	case *ast.Ident:
+		if o := info.Uses[t]; o != nil {
+			return o
+		}
+		return info.Defs[t]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[t]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[t.Sel]
+	case *ast.ParenExpr:
+		return referencedObject(info, t.X)
+	case *ast.StarExpr:
+		return referencedObject(info, t.X)
+	}
+	return nil
+}
+
+// gcSizes is the size model used for element sizes. SizesFor never
+// returns nil for the gc compiler, but guard anyway.
+var gcSizes = func() types.Sizes {
+	if s := types.SizesFor("gc", "amd64"); s != nil {
+		return s
+	}
+	return &types.StdSizes{WordSize: 8, MaxAlign: 8}
+}()
+
+// sizeOf returns the byte size of a type, or 0 when it cannot be
+// determined (stub-imported or invalid types).
+func sizeOf(t types.Type) (n int64) {
+	if t == nil {
+		return 0
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Invalid {
+		return 0
+	}
+	// go/types sizes can panic on malformed (stub-imported) types;
+	// treat those as unsizable rather than crashing the analyzer.
+	defer func() {
+		if recover() != nil {
+			n = 0
+		}
+	}()
+	return gcSizes.Sizeof(t)
+}
+
+// collectGeometries indexes, module-wide, every container the quant
+// model can size from declarations: //grinch:geometry annotations and
+// slices declared with composite literals or make([]T, constant).
+// Conflicting inferences (a slice reassigned to a different length)
+// degrade to unresolved rather than guessing.
+func collectGeometries(w *World) map[types.Object]Geometry {
+	geoms := map[types.Object]Geometry{}
+	conflicted := map[types.Object]bool{}
+
+	record := func(o types.Object, g Geometry) {
+		if o == nil || g.Entries <= 0 || g.EntryBytes <= 0 {
+			return
+		}
+		if g.Source == "annotation" {
+			geoms[o] = g // annotations always win
+			return
+		}
+		if conflicted[o] {
+			return
+		}
+		if prev, ok := geoms[o]; ok {
+			if prev.Source == "annotation" {
+				return
+			}
+			if prev.Entries != g.Entries || prev.EntryBytes != g.EntryBytes {
+				conflicted[o] = true
+				delete(geoms, o)
+			}
+			return
+		}
+		geoms[o] = g
+	}
+
+	for _, pkg := range w.Pkgs {
+		for _, file := range pkg.Files {
+			collectFileGeometries(pkg, file, record)
+		}
+	}
+	return geoms
+}
+
+func collectFileGeometries(pkg *Package, file *ast.File, record func(types.Object, Geometry)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.GenDecl:
+			declG, declOK := parseGeometryDirective(d.Doc)
+			for _, spec := range d.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				g, gok := parseGeometryDirective(vs.Doc)
+				if !gok {
+					g, gok = parseGeometryDirective(vs.Comment)
+				}
+				if !gok && declOK {
+					g, gok = declG, true
+				}
+				for i, name := range vs.Names {
+					o := pkg.Info.Defs[name]
+					if gok {
+						record(o, g)
+						continue
+					}
+					if i < len(vs.Values) {
+						if ig, ok := inferValueGeometry(pkg.Info, vs.Values[i]); ok {
+							record(o, ig)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(d.Lhs) != len(d.Rhs) {
+				return true
+			}
+			for i, lhs := range d.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				o := pkg.Info.Defs[id]
+				if o == nil {
+					o = pkg.Info.Uses[id]
+				}
+				if ig, ok := inferValueGeometry(pkg.Info, d.Rhs[i]); ok {
+					record(o, ig)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// parseGeometryDirective extracts entries=E bytes=B from a
+// //grinch:geometry comment line.
+func parseGeometryDirective(cg *ast.CommentGroup) (Geometry, bool) {
+	if cg == nil {
+		return Geometry{}, false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if !strings.HasPrefix(text, geometryDirective) {
+			continue
+		}
+		rest := strings.TrimPrefix(text, geometryDirective)
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue
+		}
+		g := Geometry{Source: "annotation"}
+		for _, f := range strings.Fields(rest) {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				continue
+			}
+			switch k {
+			case "entries":
+				g.Entries = n
+			case "bytes":
+				g.EntryBytes = n
+			}
+		}
+		if g.Entries > 0 {
+			if g.EntryBytes == 0 {
+				g.EntryBytes = 1
+			}
+			return g, true
+		}
+	}
+	return Geometry{}, false
+}
+
+// inferValueGeometry sizes a slice initializer: a composite literal
+// (keyed or positional) or make([]T, constantLen).
+func inferValueGeometry(info *types.Info, e ast.Expr) (Geometry, bool) {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		tv, ok := info.Types[v]
+		if !ok || tv.Type == nil {
+			return Geometry{}, false
+		}
+		sl, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			return Geometry{}, false
+		}
+		sz := sizeOf(sl.Elem())
+		if sz <= 0 {
+			return Geometry{}, false
+		}
+		return Geometry{Entries: compositeLen(info, v), EntryBytes: sz, Source: "literal"}, true
+	case *ast.CallExpr:
+		fn, ok := v.Fun.(*ast.Ident)
+		if !ok || len(v.Args) < 2 {
+			return Geometry{}, false
+		}
+		if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "make" {
+			return Geometry{}, false
+		}
+		tv, ok := info.Types[v.Args[0]]
+		if !ok || tv.Type == nil {
+			return Geometry{}, false
+		}
+		sl, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			return Geometry{}, false
+		}
+		sz := sizeOf(sl.Elem())
+		n := constInt(info, v.Args[1])
+		if sz <= 0 || n <= 0 {
+			return Geometry{}, false
+		}
+		return Geometry{Entries: n, EntryBytes: sz, Source: "make"}, true
+	}
+	return Geometry{}, false
+}
+
+// compositeLen computes a slice literal's length, honoring keyed
+// indices ({5: x} has 6 entries).
+func compositeLen(info *types.Info, cl *ast.CompositeLit) int64 {
+	var n, next int64
+	for _, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if k := constInt(info, kv.Key); k >= 0 {
+				next = k
+			}
+		}
+		next++
+		if next > n {
+			n = next
+		}
+	}
+	return n
+}
+
+// constInt evaluates a constant integer expression, -1 when not one.
+func constInt(info *types.Info, e ast.Expr) int64 {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return -1
+	}
+	n, err := strconv.ParseInt(tv.Value.ExactString(), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// BudgetRow is one aggregate of the leakage budget: the summed modeled
+// bits-per-observation of the findings in one function or package.
+type BudgetRow struct {
+	Pkg  string `json:"pkg"`
+	Func string `json:"func,omitempty"`
+	// Findings counts the quant-carrying findings aggregated;
+	// Unresolved how many of them lacked geometry (contributing 0).
+	Findings   int     `json:"findings"`
+	Unresolved int     `json:"unresolved,omitempty"`
+	Bits       float64 `json:"bits_per_observation"`
+}
+
+// Budgets aggregates quant-carrying findings into per-function and
+// per-package leakage budgets, sorted by (pkg, func). Findings without
+// quant data (determinism findings, non-quant runs) are skipped.
+func Budgets(findings []Finding) (perFunc, perPkg []BudgetRow) {
+	type key struct{ pkg, fn string }
+	aggregate := func(keyOf func(Finding) key) []BudgetRow {
+		acc := map[key]*BudgetRow{}
+		var order []key
+		for _, f := range findings {
+			if f.Quant == nil {
+				continue
+			}
+			k := keyOf(f)
+			r, ok := acc[k]
+			if !ok {
+				r = &BudgetRow{Pkg: k.pkg, Func: k.fn}
+				acc[k] = r
+				order = append(order, k)
+			}
+			r.Findings++
+			if !f.Quant.Resolved {
+				r.Unresolved++
+			}
+			r.Bits += f.Quant.BitsPerObservation
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].pkg != order[j].pkg {
+				return order[i].pkg < order[j].pkg
+			}
+			return order[i].fn < order[j].fn
+		})
+		rows := make([]BudgetRow, 0, len(order))
+		for _, k := range order {
+			rows = append(rows, *acc[k])
+		}
+		return rows
+	}
+	perFunc = aggregate(func(f Finding) key { return key{f.Pkg, f.Func} })
+	perPkg = aggregate(func(f Finding) key { return key{pkg: f.Pkg} })
+	return perFunc, perPkg
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuantifyCapsAtIndexEntropy(t *testing.T) {
+	// 8 entries × 8B span 64 one-byte lines, but an observation cannot
+	// yield more than the index's own 3 bits.
+	q := quantify(Geometry{Entries: 8, EntryBytes: 8, Source: "array"}, 1)
+	if q.LinesObservable != 64 {
+		t.Errorf("lines = %d, want 64", q.LinesObservable)
+	}
+	if q.BitsPerObservation != 3 {
+		t.Errorf("bits = %v, want 3 (capped at log2(entries))", q.BitsPerObservation)
+	}
+	// The uncapped case: 16 one-byte entries at 1B lines.
+	q = quantify(Geometry{Entries: 16, EntryBytes: 1, Source: "array"}, 1)
+	if q.LinesObservable != 16 || q.BitsPerObservation != 4 {
+		t.Errorf("16×1B: lines=%d bits=%v, want 16 and 4", q.LinesObservable, q.BitsPerObservation)
+	}
+}
+
+func TestQuantifyLineSizeSweep(t *testing.T) {
+	// The paper's Table I geometry sweep over the 16-byte S-box: wider
+	// lines fold lookups together and shrink the per-observation yield.
+	g := Geometry{Entries: 16, EntryBytes: 1, Source: "array"}
+	want := map[int]float64{1: 4, 2: 3, 4: 2, 8: 1}
+	for lineBytes, bits := range want {
+		q := quantify(g, lineBytes)
+		if math.Abs(q.BitsPerObservation-bits) > 1e-12 {
+			t.Errorf("lineBytes=%d: bits = %v, want %v", lineBytes, q.BitsPerObservation, bits)
+		}
+	}
+}
+
+func TestQuantifySingleLineIsZeroBits(t *testing.T) {
+	q := quantify(Geometry{Entries: 4, EntryBytes: 1, Source: "array"}, 8)
+	if q.LinesObservable != 1 || q.BitsPerObservation != 0 {
+		t.Errorf("a one-line table leaks nothing: lines=%d bits=%v", q.LinesObservable, q.BitsPerObservation)
+	}
+}
+
+func TestQuantSuffixForms(t *testing.T) {
+	var nilQ *Quant
+	if nilQ.suffix() != "" {
+		t.Errorf("nil quant must render empty, got %q", nilQ.suffix())
+	}
+	if s := quantForBranch().suffix(); !strings.Contains(s, "1.00 bits/evaluation") {
+		t.Errorf("branch suffix = %q", s)
+	}
+	if s := (&Quant{LineBytes: 1, Source: "unresolved"}).suffix(); !strings.Contains(s, "grinch:geometry") {
+		t.Errorf("unresolved suffix should point at the annotation, got %q", s)
+	}
+}
+
+func TestBudgetsAggregation(t *testing.T) {
+	q4 := &Quant{Entries: 16, EntryBytes: 1, LineBytes: 1, LinesObservable: 16, BitsPerObservation: 4, Source: "array", Resolved: true}
+	q1 := &Quant{BitsPerObservation: 1, Source: "branch", Resolved: true}
+	qu := &Quant{LineBytes: 1, Source: "unresolved"}
+	findings := []Finding{
+		{Rule: "secret-index", Pkg: "m/a", Func: "F", Quant: q4},
+		{Rule: "secret-index", Pkg: "m/a", Func: "F", Quant: q4},
+		{Rule: "secret-branch", Pkg: "m/a", Func: "G", Quant: q1},
+		{Rule: "secret-index", Pkg: "m/b", Func: "H", Quant: qu},
+		{Rule: "wallclock", Pkg: "m/c", Func: "I"}, // no quant: skipped
+	}
+	perFunc, perPkg := Budgets(findings)
+
+	if len(perFunc) != 3 {
+		t.Fatalf("perFunc rows = %d, want 3: %+v", len(perFunc), perFunc)
+	}
+	// Sorted by (pkg, func): a.F, a.G, b.H.
+	if perFunc[0].Func != "F" || perFunc[0].Bits != 8 || perFunc[0].Findings != 2 {
+		t.Errorf("a.F row wrong: %+v", perFunc[0])
+	}
+	if perFunc[1].Func != "G" || perFunc[1].Bits != 1 {
+		t.Errorf("a.G row wrong: %+v", perFunc[1])
+	}
+	if perFunc[2].Func != "H" || perFunc[2].Bits != 0 || perFunc[2].Unresolved != 1 {
+		t.Errorf("b.H row wrong: %+v", perFunc[2])
+	}
+
+	if len(perPkg) != 2 {
+		t.Fatalf("perPkg rows = %d, want 2: %+v", len(perPkg), perPkg)
+	}
+	if perPkg[0].Pkg != "m/a" || perPkg[0].Bits != 9 || perPkg[0].Findings != 3 {
+		t.Errorf("pkg a row wrong: %+v", perPkg[0])
+	}
+	if perPkg[1].Pkg != "m/b" || perPkg[1].Unresolved != 1 {
+		t.Errorf("pkg b row wrong: %+v", perPkg[1])
+	}
+}
+
+func TestBaselineV2RoundTrip(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "grinchvet.baseline")
+	f := fnd("secret-index", filepath.Join(root, "a.go"), "F", "sbox")
+	f.Quant = &Quant{Entries: 16, EntryBytes: 1, LineBytes: 1, LinesObservable: 16, BitsPerObservation: 4, Source: "array", Resolved: true}
+	b := fnd("secret-branch", filepath.Join(root, "b.go"), "G", "(expression)")
+	b.Quant = quantForBranch()
+	if err := WriteBaseline(path, root, []Finding{f, b}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The v2 column is written…
+	rawBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := string(rawBytes)
+	if !strings.Contains(raw, "\tentries=16 bytes=1 lines=16 bits=4.00") {
+		t.Fatalf("v2 quant column missing:\n%s", raw)
+	}
+	if !strings.Contains(raw, "\tbits=1.00") {
+		t.Fatalf("branch quant column missing:\n%s", raw)
+	}
+
+	// …and dropped from the parsed identity, so a v2 file gates
+	// exactly like a v1 file.
+	base, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["secret-index\ta.go\tF\tsbox"] != 1 {
+		t.Fatalf("v2 line did not parse down to the v1 key: %v", base)
+	}
+	fresh, stale := Diff([]Finding{f, b}, base, root)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("v2 round-trip not clean: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestBaselineV1StillParses(t *testing.T) {
+	// A pre-quant baseline (3 tabs) and a quant one (4 tabs) coexist.
+	base, err := parseBaseline(strings.NewReader(
+		"secret-index\ta.go\tF\tsbox\n" +
+			"secret-index\tb.go\tG\ttbl\tentries=16 bytes=1 lines=16 bits=4.00\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base["secret-index\ta.go\tF\tsbox"] != 1 || base["secret-index\tb.go\tG\ttbl"] != 1 {
+		t.Fatalf("mixed v1/v2 parse wrong: %v", base)
+	}
+}
+
+func TestDiffFreshIsSorted(t *testing.T) {
+	root := t.TempDir()
+	findings := []Finding{
+		fnd("wallclock", filepath.Join(root, "z.go"), "Z", "time.Now"),
+		fnd("secret-index", filepath.Join(root, "b.go"), "B", "t2"),
+		fnd("secret-index", filepath.Join(root, "a.go"), "B", "t1"),
+		fnd("secret-branch", filepath.Join(root, "a.go"), "A", "c"),
+	}
+	// Pkg deliberately varies to exercise the (rule, pkg, func) order.
+	findings[1].Pkg = "m/b"
+	findings[2].Pkg = "m/a"
+	fresh, _ := Diff(findings, nil, root)
+	var got []string
+	for _, f := range fresh {
+		got = append(got, f.Rule+"/"+f.Pkg+"/"+f.Func)
+	}
+	want := []string{"secret-branch//A", "secret-index/m/a/B", "secret-index/m/b/B", "wallclock//Z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fresh order = %v, want %v", got, want)
+		}
+	}
+}

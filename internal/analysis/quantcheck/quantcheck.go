@@ -1,0 +1,413 @@
+// Package quantcheck closes the loop between grinchvet's static
+// quantitative leakage model (internal/analysis, quant.go) and the
+// empirical convergence the attack actually achieves: it takes the
+// statically resolved table geometry on one side and a recorded event
+// trace (internal/obs) on the other, fits the measured
+// bits-eliminated-per-observation from the survivor curves, and
+// reports the deviation between prediction and measurement.
+//
+// # The model
+//
+// A table of E entries × B bytes spans L = ⌈E·B/lineBytes⌉ cache
+// lines. One traced observation is one victim encryption whose probed
+// round performs A table accesses (one per cipher segment): the
+// crafted target access always touches the true line, the other A−1
+// land (approximately) uniformly on the L lines. Under the paper's
+// strict-intersection elimination a wrong candidate line therefore
+// survives one observation with probability
+//
+//	p = 1 − (1 − 1/L)^(A−1)
+//
+// so the wrong-survivor count decays geometrically, W·p^m after m
+// observations (W = L−1), and the modeled information yield is
+//
+//	bits/observation = −log2(p)
+//
+// with expected observations-to-convergence E[M] = Σ_m (1−(1−p^m)^W).
+//
+// # The measurement
+//
+// From a folded survivor curve the total wrong-candidate lifetime
+// T = Σ_m (survivors_m − 1) has expectation W·p/(1−p) under the same
+// model, so p̂ = T/(W+T) is the measured survival probability and
+// −log2(p̂) the measured bits-per-observation — no curve-shape
+// assumptions beyond the geometric decay being fitted. Segments of one
+// (cipher, line-geometry) configuration are pooled (ΣT over ΣW) before
+// comparing, which is the paper-table granularity (Fig. 3 / Table I
+// rows).
+//
+// The line universe L is recovered from the trace itself (the highest
+// line index any probe observation or candidate mask touches) and
+// snapped to the static geometry's admissible line sizes
+// (cache.PaperLineSizes); a trace whose universe fits no admissible
+// geometry fails the check — that is the drift signal the closed loop
+// exists for.
+package quantcheck
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"text/tabwriter"
+
+	"grinch/internal/cache"
+	"grinch/internal/obs"
+	"grinch/internal/obs/report"
+)
+
+// DefaultTolerance is the default maximum relative deviation between
+// predicted and measured bits-per-observation. The fit is a stochastic
+// estimate over finitely many segments; on the committed Fig. 3-scale
+// fixtures the observed deviation stays well under 15%, so 25% gives
+// slack for fixture regeneration without masking a real model change
+// (the nearest geometry step, L=16 → L=8 at A=16, moves the
+// prediction by over 60%).
+const DefaultTolerance = 0.25
+
+// Geometry is the static table shape handed over from the analyzer's
+// quant pass: entry count and entry size of the probed table.
+type Geometry struct {
+	Entries    int
+	EntryBytes int
+}
+
+// TableBytes is the table's total footprint.
+func (g Geometry) TableBytes() int { return g.Entries * g.EntryBytes }
+
+// Protocol describes, per cipher, where the probed table lives in the
+// module (so the CLI can pull its geometry out of the analyzer's
+// findings) and how many table accesses one probed observation window
+// contains under the Fig. 3 protocol (one probed round, one access per
+// segment).
+type Protocol struct {
+	Cipher string
+	// TablePkg is the module-relative package defining the table;
+	// TableName the finding detail naming it.
+	TablePkg  string
+	TableName string
+	// Accesses is the number of table accesses per observation window.
+	Accesses int
+}
+
+// protocols lists the ciphers the tracer can emit, in stable order.
+var protocols = []Protocol{
+	{Cipher: "GIFT-64", TablePkg: "internal/gift", TableName: "SBox", Accesses: 16},
+	{Cipher: "GIFT-128", TablePkg: "internal/gift", TableName: "SBox", Accesses: 32},
+	{Cipher: "PRESENT-80", TablePkg: "internal/present", TableName: "SBox", Accesses: 16},
+}
+
+// Protocols returns the known cipher protocols.
+func Protocols() []Protocol {
+	out := make([]Protocol, len(protocols))
+	copy(out, protocols)
+	return out
+}
+
+// ProtocolFor resolves a trace's cipher label.
+func ProtocolFor(cipher string) (Protocol, bool) {
+	for _, p := range protocols {
+		if p.Cipher == cipher {
+			return p, true
+		}
+	}
+	return Protocol{}, false
+}
+
+// Prediction is the static model's output for one line geometry.
+type Prediction struct {
+	// Lines is the observable line count L; LineBytes the line size
+	// that produces it; Accesses the protocol's A.
+	Lines     int
+	LineBytes int
+	Accesses  int
+	// SurvivalProb is p, the modeled per-observation survival
+	// probability of a wrong candidate line.
+	SurvivalProb float64
+	// BitsPerObservation is −log2(p).
+	BitsPerObservation float64
+	// ObsToConverge is E[M], the expected observations until a unique
+	// survivor.
+	ObsToConverge float64
+}
+
+// Predict applies the static model to a geometry at one line size.
+func Predict(g Geometry, lineBytes, accesses int) (Prediction, error) {
+	lines := cache.LinesSpanned(g.TableBytes(), lineBytes)
+	if lines < 2 {
+		return Prediction{}, fmt.Errorf("quantcheck: %d-byte table spans %d line(s) at %dB — nothing to observe",
+			g.TableBytes(), lines, lineBytes)
+	}
+	if accesses < 2 {
+		return Prediction{}, fmt.Errorf("quantcheck: protocol needs ≥ 2 accesses per observation, got %d", accesses)
+	}
+	p := 1 - math.Pow(1-1/float64(lines), float64(accesses-1))
+	return Prediction{
+		Lines:              lines,
+		LineBytes:          lineBytes,
+		Accesses:           accesses,
+		SurvivalProb:       p,
+		BitsPerObservation: -math.Log2(p),
+		ObsToConverge:      expectedObs(lines-1, p),
+	}, nil
+}
+
+// expectedObs computes E[M] = Σ_{m≥0} (1 − (1−p^m)^w), the expected
+// number of observations until all w wrong candidates have died when
+// each survives an observation independently with probability p.
+func expectedObs(w int, p float64) float64 {
+	if w <= 0 || p <= 0 {
+		return 0
+	}
+	sum, pm := 0.0, 1.0
+	for m := 0; m < 4_000_000; m++ {
+		term := 1 - math.Pow(1-pm, float64(w))
+		if term < 1e-12 {
+			break
+		}
+		sum += term
+		pm *= p
+	}
+	return sum
+}
+
+// SegmentFit is one elimination's measured convergence statistics.
+type SegmentFit struct {
+	Key report.SegmentKey
+	// Universe is the inferred line count L the elimination ran over.
+	Universe int
+	// WrongLifetimes is T = Σ (survivors−1)·Δobs over the curve.
+	WrongLifetimes float64
+	// Observations is the final observation count; Recovered whether
+	// the elimination converged.
+	Observations uint64
+	Recovered    bool
+	// SurvivalProb is p̂ = T/(W+T); BitsPerObservation −log2(p̂)
+	// (+Inf when the first observation already eliminated everything).
+	SurvivalProb       float64
+	BitsPerObservation float64
+}
+
+// FitSegment fits the geometric survival model to one folded segment.
+func FitSegment(s report.Segment, universe int) SegmentFit {
+	fit := SegmentFit{Key: s.Key, Universe: universe, Recovered: s.Recovered}
+	var prev uint64
+	for _, pt := range s.Curve {
+		d := uint64(1)
+		if pt.Observations > prev {
+			d = pt.Observations - prev
+		}
+		prev = pt.Observations
+		if pt.Survivors > 1 {
+			fit.WrongLifetimes += float64(pt.Survivors-1) * float64(d)
+		}
+	}
+	if len(s.Curve) > 0 {
+		fit.Observations = s.Curve[len(s.Curve)-1].Observations
+	}
+	w := float64(universe - 1)
+	if w > 0 {
+		fit.SurvivalProb = fit.WrongLifetimes / (w + fit.WrongLifetimes)
+	}
+	fit.BitsPerObservation = math.Inf(1)
+	if fit.SurvivalProb > 0 {
+		fit.BitsPerObservation = -math.Log2(fit.SurvivalProb)
+	}
+	return fit
+}
+
+// Group is one paper-table row: every traced segment sharing a cipher
+// and line geometry, pooled, against the static prediction.
+type Group struct {
+	Cipher string
+	Pred   Prediction
+	Segs   []SegmentFit
+	// Recovered counts converged segments; MeanObs averages their
+	// observation counts.
+	Recovered int
+	MeanObs   float64
+	// MeasuredProb pools the segment fits (ΣT over ΣW);
+	// MeasuredBits is −log2 of it.
+	MeasuredProb float64
+	MeasuredBits float64
+	// Deviation is |MeasuredBits−PredBits| / PredBits.
+	Deviation float64
+}
+
+// Report is a full predicted-vs-measured comparison.
+type Report struct {
+	Groups    []Group
+	Tolerance float64
+}
+
+// OK reports whether every group's deviation is within tolerance.
+func (r *Report) OK() bool {
+	for _, g := range r.Groups {
+		if g.Deviation > r.Tolerance || math.IsNaN(g.Deviation) || math.IsInf(g.Deviation, 0) {
+			return false
+		}
+	}
+	return len(r.Groups) > 0
+}
+
+// Check folds a trace, infers each elimination's line universe, fits
+// the survivor curves and compares against the static predictions.
+// geoms maps cipher label → statically resolved table geometry.
+func Check(events []obs.Event, geoms map[string]Geometry, tolerance float64) (*Report, error) {
+	segs := report.Fold(events)
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("quantcheck: trace has no candidate updates to fit")
+	}
+	universes := inferUniverses(events)
+
+	type groupKey struct {
+		cipher string
+		lines  int
+	}
+	acc := map[groupKey]*Group{}
+	var order []groupKey
+	for _, s := range segs {
+		if len(s.Curve) == 0 {
+			continue
+		}
+		proto, ok := ProtocolFor(s.Key.Cipher)
+		if !ok {
+			return nil, fmt.Errorf("quantcheck: no protocol for cipher %q", s.Key.Cipher)
+		}
+		g, ok := geoms[s.Key.Cipher]
+		if !ok {
+			return nil, fmt.Errorf("quantcheck: no static geometry for cipher %q — did the analyzer lose the %s table?",
+				s.Key.Cipher, proto.TableName)
+		}
+		need := universes[streamKey{s.Key.Job, s.Key.Cipher, s.Key.Round}]
+		lineBytes, lines, err := snapUniverse(g, need)
+		if err != nil {
+			return nil, fmt.Errorf("quantcheck: %s job %d: %w", s.Key.Cipher, s.Key.Job, err)
+		}
+		k := groupKey{s.Key.Cipher, lines}
+		grp, ok := acc[k]
+		if !ok {
+			pred, err := Predict(g, lineBytes, proto.Accesses)
+			if err != nil {
+				return nil, err
+			}
+			grp = &Group{Cipher: s.Key.Cipher, Pred: pred}
+			acc[k] = grp
+			order = append(order, k)
+		}
+		grp.Segs = append(grp.Segs, FitSegment(s, lines))
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("quantcheck: no fittable segments in trace")
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].cipher != order[j].cipher {
+			return order[i].cipher < order[j].cipher
+		}
+		return order[i].lines < order[j].lines
+	})
+
+	rep := &Report{Tolerance: tolerance}
+	for _, k := range order {
+		grp := acc[k]
+		var sumT, sumW, sumObs float64
+		for _, f := range grp.Segs {
+			sumT += f.WrongLifetimes
+			sumW += float64(f.Universe - 1)
+			if f.Recovered {
+				grp.Recovered++
+				sumObs += float64(f.Observations)
+			}
+		}
+		if grp.Recovered > 0 {
+			grp.MeanObs = sumObs / float64(grp.Recovered)
+		}
+		if sumW+sumT > 0 {
+			grp.MeasuredProb = sumT / (sumW + sumT)
+		}
+		grp.MeasuredBits = math.Inf(1)
+		if grp.MeasuredProb > 0 {
+			grp.MeasuredBits = -math.Log2(grp.MeasuredProb)
+		}
+		grp.Deviation = math.Abs(grp.MeasuredBits-grp.Pred.BitsPerObservation) / grp.Pred.BitsPerObservation
+		rep.Groups = append(rep.Groups, *grp)
+	}
+	return rep, nil
+}
+
+// streamKey identifies one probe stream: all segments of a job share
+// the observations of their (cipher, round) channel.
+type streamKey struct {
+	job    int
+	cipher string
+	round  int
+}
+
+// inferUniverses ORs every probe and candidate mask per stream and
+// returns the minimum line count each stream must span.
+func inferUniverses(events []obs.Event) map[streamKey]int {
+	need := map[streamKey]int{}
+	for _, e := range events {
+		if e.Kind != obs.KindProbeObservation && e.Kind != obs.KindCandidateUpdate {
+			continue
+		}
+		k := streamKey{e.Job, e.Cipher, e.Round}
+		if n := bits.Len64(e.Lines); n > need[k] {
+			need[k] = n
+		}
+	}
+	return need
+}
+
+// snapUniverse picks the smallest admissible line geometry (per
+// cache.PaperLineSizes, largest line first so fewest lines) whose line
+// count covers the observed universe.
+func snapUniverse(g Geometry, need int) (lineBytes, lines int, err error) {
+	sizes := cache.PaperLineSizes()
+	for i := len(sizes) - 1; i >= 0; i-- {
+		l := cache.LinesSpanned(g.TableBytes(), sizes[i])
+		if l >= need && l >= 2 {
+			return sizes[i], l, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("trace observes %d lines but the %d-byte table spans at most %d — static geometry and trace disagree",
+		need, g.TableBytes(), cache.LinesSpanned(g.TableBytes(), sizes[0]))
+}
+
+// WriteTable renders the comparison: one row per (cipher, geometry)
+// group, the paper-table granularity.
+func (r *Report) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "CIPHER\tLINE_B\tLINES\tSEGS\tRECOVERED\tPRED_BITS/OBS\tMEAS_BITS/OBS\tDEV\tPRED_OBS\tMEAS_OBS\tSTATUS")
+	for _, g := range r.Groups {
+		status := "ok"
+		if g.Deviation > r.Tolerance || math.IsNaN(g.Deviation) || math.IsInf(g.Deviation, 0) {
+			status = fmt.Sprintf("DRIFT>%.0f%%", r.Tolerance*100)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.4f\t%.4f\t%.1f%%\t%.1f\t%.1f\t%s\n",
+			g.Cipher, g.Pred.LineBytes, g.Pred.Lines, len(g.Segs), g.Recovered,
+			g.Pred.BitsPerObservation, g.MeasuredBits, g.Deviation*100,
+			g.Pred.ObsToConverge, g.MeanObs, status)
+	}
+	return tw.Flush()
+}
+
+// WriteSegments renders the per-segment fits behind the group rows.
+func (r *Report) WriteSegments(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "JOB\tCIPHER\tROUND\tSEG\tLINES\tOBS\tLIFETIMES\tP_HAT\tBITS/OBS\tRECOVERED")
+	for _, g := range r.Groups {
+		for _, f := range g.Segs {
+			rec := "no"
+			if f.Recovered {
+				rec = "yes"
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%.0f\t%.4f\t%.4f\t%s\n",
+				f.Key.Job, f.Key.Cipher, f.Key.Round, f.Key.Segment,
+				f.Universe, f.Observations, f.WrongLifetimes,
+				f.SurvivalProb, f.BitsPerObservation, rec)
+		}
+	}
+	return tw.Flush()
+}

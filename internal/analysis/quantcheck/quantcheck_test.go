@@ -1,0 +1,280 @@
+package quantcheck
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grinch/internal/obs"
+	"grinch/internal/obs/report"
+)
+
+var gift64Geom = Geometry{Entries: 16, EntryBytes: 1}
+
+func TestPredictKnownValues(t *testing.T) {
+	tests := []struct {
+		lineBytes int
+		lines     int
+		p         float64
+		bits      float64
+	}{
+		// p = 1 − (1 − 1/L)^15 for the 16-access GIFT-64 protocol.
+		{1, 16, 0.620188, 0.689223},
+		{2, 8, 0.865066, 0.209118},
+		{4, 4, 0.986637, 0.019409},
+		{8, 2, 0.999969, 0.000044},
+	}
+	for _, tt := range tests {
+		pred, err := Predict(gift64Geom, tt.lineBytes, 16)
+		if err != nil {
+			t.Fatalf("Predict(%dB): %v", tt.lineBytes, err)
+		}
+		if pred.Lines != tt.lines {
+			t.Errorf("lineBytes=%d: lines = %d, want %d", tt.lineBytes, pred.Lines, tt.lines)
+		}
+		if math.Abs(pred.SurvivalProb-tt.p) > 1e-5 {
+			t.Errorf("lineBytes=%d: p = %.6f, want %.6f", tt.lineBytes, pred.SurvivalProb, tt.p)
+		}
+		if math.Abs(pred.BitsPerObservation-tt.bits) > 1e-5 {
+			t.Errorf("lineBytes=%d: bits/obs = %.6f, want %.6f", tt.lineBytes, pred.BitsPerObservation, tt.bits)
+		}
+		if pred.ObsToConverge <= 1 {
+			t.Errorf("lineBytes=%d: E[obs] = %.2f, want > 1", tt.lineBytes, pred.ObsToConverge)
+		}
+	}
+}
+
+func TestPredictMoreAccessesLeakSlower(t *testing.T) {
+	// GIFT-128 makes 32 accesses per window, so wrong lines are touched
+	// more often and each observation eliminates less.
+	p16, err := Predict(gift64Geom, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p32, err := Predict(gift64Geom, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p32.BitsPerObservation >= p16.BitsPerObservation {
+		t.Errorf("32 accesses should leak less per observation: %.4f >= %.4f",
+			p32.BitsPerObservation, p16.BitsPerObservation)
+	}
+	if p32.ObsToConverge <= p16.ObsToConverge {
+		t.Errorf("32 accesses should converge slower: %.2f <= %.2f",
+			p32.ObsToConverge, p16.ObsToConverge)
+	}
+}
+
+func TestPredictDegenerate(t *testing.T) {
+	// A table fitting in one line is unobservable.
+	if _, err := Predict(Geometry{Entries: 4, EntryBytes: 1}, 8, 16); err == nil {
+		t.Error("Predict should reject a single-line table")
+	}
+	// One access per window never touches wrong lines; the model does
+	// not apply.
+	if _, err := Predict(gift64Geom, 1, 1); err == nil {
+		t.Error("Predict should reject a 1-access protocol")
+	}
+}
+
+func TestFitSegmentExactDecay(t *testing.T) {
+	// A synthetic curve decaying exactly like p = 1/2 over L = 16:
+	// survivors 16, 8, 4, 2, 1 → lifetimes 15+7+3+1+0 = 26,
+	// p̂ = 26/(15+26) = 0.634... is the small-sample-biased estimate;
+	// what must hold exactly is the lifetime sum and the monotone
+	// relation to the universe.
+	s := report.Segment{
+		Key: report.SegmentKey{Cipher: "GIFT-64", Round: 1},
+		Curve: []report.Point{
+			{Observations: 1, Survivors: 16},
+			{Observations: 2, Survivors: 8},
+			{Observations: 3, Survivors: 4},
+			{Observations: 4, Survivors: 2},
+			{Observations: 5, Survivors: 1},
+		},
+		Recovered: true,
+	}
+	fit := FitSegment(s, 16)
+	if fit.WrongLifetimes != 26 {
+		t.Errorf("lifetimes = %.0f, want 26", fit.WrongLifetimes)
+	}
+	if fit.Observations != 5 {
+		t.Errorf("observations = %d, want 5", fit.Observations)
+	}
+	want := 26.0 / 41.0
+	if math.Abs(fit.SurvivalProb-want) > 1e-12 {
+		t.Errorf("p̂ = %.6f, want %.6f", fit.SurvivalProb, want)
+	}
+	if math.Abs(fit.BitsPerObservation+math.Log2(want)) > 1e-12 {
+		t.Errorf("bits = %.6f, want %.6f", fit.BitsPerObservation, -math.Log2(want))
+	}
+}
+
+func TestFitSegmentImmediateConvergence(t *testing.T) {
+	// All wrong candidates die on the first observation: zero lifetime,
+	// infinite measured bits (nothing survived to be measured).
+	s := report.Segment{Curve: []report.Point{{Observations: 1, Survivors: 1}}}
+	fit := FitSegment(s, 16)
+	if fit.WrongLifetimes != 0 {
+		t.Errorf("lifetimes = %.0f, want 0", fit.WrongLifetimes)
+	}
+	if !math.IsInf(fit.BitsPerObservation, 1) {
+		t.Errorf("bits = %v, want +Inf", fit.BitsPerObservation)
+	}
+}
+
+func loadTrace(t *testing.T, path string) []obs.Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestCheckFixtures is the closed loop at test scope: for every
+// committed fixture geometry the measured bits-per-observation must
+// match the static prediction within the default tolerance. The
+// deviations observed at fixture scale (2 pooled segments) are ~3%
+// for the 16-line geometry and under 20% for the coarser ones, where
+// relative error on a near-zero bit yield is intrinsically noisy.
+func TestCheckFixtures(t *testing.T) {
+	geoms := map[string]Geometry{"GIFT-64": gift64Geom}
+	fixtures := []struct {
+		path  string
+		lines int
+	}{
+		{"trace-linewords1.jsonl", 16},
+		{"trace-linewords2.jsonl", 8},
+		{"trace-linewords4.jsonl", 4},
+	}
+	for _, fx := range fixtures {
+		events := loadTrace(t, filepath.Join("testdata", fx.path))
+		rep, err := Check(events, geoms, DefaultTolerance)
+		if err != nil {
+			t.Fatalf("%s: %v", fx.path, err)
+		}
+		if len(rep.Groups) != 1 {
+			t.Fatalf("%s: %d groups, want 1", fx.path, len(rep.Groups))
+		}
+		g := rep.Groups[0]
+		if g.Pred.Lines != fx.lines {
+			t.Errorf("%s: inferred %d lines, want %d", fx.path, g.Pred.Lines, fx.lines)
+		}
+		if g.Recovered != len(g.Segs) || g.Recovered != 2 {
+			t.Errorf("%s: %d/%d segments recovered, want 2/2", fx.path, g.Recovered, len(g.Segs))
+		}
+		if g.Deviation > DefaultTolerance {
+			t.Errorf("%s: deviation %.1f%% exceeds tolerance %.0f%% (pred %.4f, meas %.4f)",
+				fx.path, g.Deviation*100, DefaultTolerance*100,
+				g.Pred.BitsPerObservation, g.MeasuredBits)
+		}
+		if !rep.OK() {
+			t.Errorf("%s: report not OK", fx.path)
+		}
+	}
+}
+
+// TestCheckReportFixture runs the check against the report package's
+// committed Fig. 3 fixture — the same trace make check and CI gate.
+func TestCheckReportFixture(t *testing.T) {
+	events := loadTrace(t, filepath.Join("..", "..", "obs", "report", "testdata", "trace.jsonl"))
+	rep, err := Check(events, map[string]Geometry{"GIFT-64": gift64Geom}, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		for _, g := range rep.Groups {
+			t.Logf("%s: pred %.4f meas %.4f dev %.1f%%",
+				g.Cipher, g.Pred.BitsPerObservation, g.MeasuredBits, g.Deviation*100)
+		}
+		t.Fatal("Fig. 3 fixture drifted outside tolerance")
+	}
+}
+
+// TestCheckDetectsGeometryDrift: shrink the static geometry below what
+// the trace observes and the check must fail loudly, not fit quietly.
+func TestCheckDetectsGeometryDrift(t *testing.T) {
+	events := loadTrace(t, filepath.Join("testdata", "trace-linewords1.jsonl"))
+	_, err := Check(events, map[string]Geometry{"GIFT-64": {Entries: 4, EntryBytes: 1}}, DefaultTolerance)
+	if err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("undersized geometry should fail the universe snap, got %v", err)
+	}
+}
+
+// TestCheckDetectsModelDrift: a deliberately miscalibrated tolerance
+// of ~0 must flag even the healthy fixture, proving the gate can fire.
+func TestCheckDetectsModelDrift(t *testing.T) {
+	events := loadTrace(t, filepath.Join("testdata", "trace-linewords1.jsonl"))
+	rep, err := Check(events, map[string]Geometry{"GIFT-64": gift64Geom}, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("a 0.1% tolerance should reject the stochastic fixture fit")
+	}
+}
+
+func TestCheckMissingGeometry(t *testing.T) {
+	events := loadTrace(t, filepath.Join("testdata", "trace-linewords1.jsonl"))
+	_, err := Check(events, map[string]Geometry{}, DefaultTolerance)
+	if err == nil || !strings.Contains(err.Error(), "no static geometry") {
+		t.Fatalf("missing geometry should fail, got %v", err)
+	}
+}
+
+func TestCheckEmptyTrace(t *testing.T) {
+	if _, err := Check(nil, map[string]Geometry{"GIFT-64": gift64Geom}, DefaultTolerance); err == nil {
+		t.Fatal("empty trace should fail")
+	}
+}
+
+func TestProtocolFor(t *testing.T) {
+	for _, cipher := range []string{"GIFT-64", "GIFT-128", "PRESENT-80"} {
+		p, ok := ProtocolFor(cipher)
+		if !ok {
+			t.Errorf("no protocol for %s", cipher)
+			continue
+		}
+		if p.Accesses < 16 || p.TableName != "SBox" {
+			t.Errorf("%s: implausible protocol %+v", cipher, p)
+		}
+	}
+	if _, ok := ProtocolFor("DES"); ok {
+		t.Error("unknown cipher should not resolve")
+	}
+}
+
+// TestWriteTableDeterministic pins the renderer: two renders of the
+// same report must be byte-identical (quantcheck sits inside the
+// determinism-checked tree).
+func TestWriteTableDeterministic(t *testing.T) {
+	events := loadTrace(t, filepath.Join("testdata", "trace-linewords2.jsonl"))
+	rep, err := Check(events, map[string]Geometry{"GIFT-64": gift64Geom}, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := rep.WriteTable(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteSegments(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteSegments(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("report rendering is not deterministic")
+	}
+}

@@ -1,0 +1,76 @@
+//go:build ignore
+
+// gen_traces regenerates the quantcheck fixture traces: one recorded
+// GIFT-64 attack per paper line geometry that still converges at
+// fixture scale (1-, 2- and 4-word lines → 16-, 8- and 4-line
+// universes; the 8-word/2-line geometry needs tens of thousands of
+// observations and is exercised analytically in the tests instead).
+// Run it from this directory:
+//
+//	go run gen_traces.go
+//
+// Each trace is two single-segment eliminations (segments 0 and 1 of
+// round 1) recorded into per-job buffers, exactly like the report
+// package's fixture, so the fit sees a small pooled group per
+// geometry. Checking the traces in decouples the quantcheck goldens
+// from the attack internals: an attack change only moves the measured
+// side when a regeneration is deliberate — which is precisely the
+// drift grinchvet -quant-check exists to catch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"grinch/internal/bitutil"
+	"grinch/internal/core"
+	"grinch/internal/obs"
+	"grinch/internal/oracle"
+	"grinch/internal/rng"
+)
+
+func main() {
+	for _, lineWords := range []int{1, 2, 4} {
+		name := fmt.Sprintf("trace-linewords%d.jsonl", lineWords)
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := obs.NewWriter(f)
+
+		r := rng.New(1)
+		key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
+		for job := 0; job < 2; job++ {
+			buf := &obs.Buffer{Job: job}
+			ch, err := oracle.New(key, oracle.Config{
+				ProbeRound: 1,
+				Flush:      true,
+				LineWords:  lineWords,
+				Seed:       uint64(job) + 7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ch.SetTracer(buf)
+			a, err := core.NewAttacker(ch, core.Config{Seed: uint64(job) + 13, Tracer: buf})
+			if err != nil {
+				log.Fatal(err)
+			}
+			out := a.AttackTarget(core.NewTarget64(1, job), nil)
+			if !out.Converged {
+				log.Fatalf("linewords=%d job %d did not converge", lineWords, job)
+			}
+			if err := w.WriteEvents(buf.Events); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s: wrote %d events", name, w.Count())
+	}
+}

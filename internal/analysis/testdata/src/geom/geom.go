@@ -1,0 +1,102 @@
+// Package geom is the quant-model fixture: every way the geometry
+// resolver can size a secret-indexed container, with the expected
+// bits-per-observation pinned in the want markers (line model: 1-byte
+// lines, the paper's word-granular probe).
+package geom
+
+// sbox: the length is in the array type. 16 entries × 1B → 16 lines,
+// log2(16) = 4 bits per observation.
+var sbox = [16]uint8{1, 10, 4, 12, 6, 15, 3, 9, 2, 13, 11, 7, 5, 0, 8, 14}
+
+// wide: 8 entries × 8B span 64 lines, but observing more lines than
+// entries cannot beat the index's own entropy — capped at log2(8).
+var wide = [8]uint64{}
+
+// twod: indexing a 2-D table selects among 16 rows of 4 bytes.
+var twod = [16][4]uint8{}
+
+// lit: a sliced global sized from its composite literal (8 × 2B).
+var lit = []uint16{0, 1, 2, 3, 4, 5, 6, 7}
+
+// keyed: keyed literal — {15: 1} has 16 entries.
+var keyed = []uint8{15: 1}
+
+// made: sized from make([]T, constant).
+var made = make([]uint8, 64)
+
+// opaque cannot be sized from its declaration; the annotation is the
+// escape hatch.
+//
+//grinch:geometry entries=256 bytes=1
+var opaque []uint8
+
+// overridden is inferable (16 entries) but the annotation wins.
+//
+//grinch:geometry entries=4 bytes=1
+var overridden = []uint8{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+
+// psbox: pointer-to-array resolves through the pointer.
+var psbox = &sbox
+
+//grinch:secret s
+func Array(s uint64) uint8 {
+	return sbox[s&0xf] // want "secret-index.*16 entries × 1B → 16 lines @1B, 4\.00 bits/obs"
+}
+
+//grinch:secret s
+func WideEntries(s uint64) uint64 {
+	return wide[s&0x7] // want "secret-index.*8 entries × 8B → 64 lines @1B, 3\.00 bits/obs"
+}
+
+//grinch:secret s
+func TwoD(s uint64) uint8 {
+	return twod[s&0xf][0] // want "secret-index.*16 entries × 4B → 64 lines @1B, 4\.00 bits/obs"
+}
+
+//grinch:secret s
+func Literal(s uint64) uint16 {
+	return lit[s&0x7] // want "secret-index.*8 entries × 2B → 16 lines @1B, 3\.00 bits/obs"
+}
+
+//grinch:secret s
+func Keyed(s uint64) uint8 {
+	return keyed[s&0xf] // want "secret-index.*16 entries × 1B → 16 lines @1B, 4\.00 bits/obs"
+}
+
+//grinch:secret s
+func Made(s uint64) uint8 {
+	return made[s&0x3f] // want "secret-index.*64 entries × 1B → 64 lines @1B, 6\.00 bits/obs"
+}
+
+//grinch:secret s
+func Annotated(s uint64) uint8 {
+	return opaque[s&0xff] // want "secret-index.*256 entries × 1B → 256 lines @1B, 8\.00 bits/obs"
+}
+
+//grinch:secret s
+func Overridden(s uint64) uint8 {
+	return overridden[s&0x3] // want "secret-index.*4 entries × 1B → 4 lines @1B, 2\.00 bits/obs"
+}
+
+//grinch:secret s
+func PointerToArray(s uint64) uint8 {
+	return psbox[s&0xf] // want "secret-index.*16 entries × 1B → 16 lines @1B, 4\.00 bits/obs"
+}
+
+// Param: a caller-supplied table has no static geometry — the finding
+// still fires, flagged unresolved.
+//
+//grinch:secret s
+func Param(tbl []uint8, s uint64) uint8 {
+	return tbl[s&0xf] // want "secret-index.*geometry unresolved"
+}
+
+// Branch: a secret-dependent branch is a 1-bit channel per evaluation.
+//
+//grinch:secret s
+func Branch(s uint64) int {
+	if s&1 == 1 { // want "secret-branch.*1\.00 bits/evaluation"
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,66 @@
+// Package suppressedge probes //grinchvet:ignore edge cases the basic
+// suppress fixture does not cover: findings inside closures, lines
+// producing several findings of different rules, and method bodies
+// reached through method values.
+package suppressedge
+
+var table = [16]uint8{0: 1}
+
+// Closure: the ignore applies to the offending line inside the
+// closure body, same as at function scope.
+//
+//grinch:secret s
+func Closure(s uint64) uint8 {
+	f := func() uint8 {
+		//grinchvet:ignore secret-index fixture: suppressed inside a closure
+		return table[s&0xf]
+	}
+	g := func() uint8 {
+		return table[(s>>4)&0xf] // want "secret-index"
+	}
+	return f() + g()
+}
+
+// MultiFinding: one line with both an index and a branch finding. A
+// single-rule ignore must only kill its own rule; the comma form
+// kills both.
+//
+//grinch:secret s
+func MultiFinding(s uint64) uint8 {
+	//grinchvet:ignore secret-index fixture: branch on the same line must survive
+	if table[s&0xf] > 8 { // want "secret-branch"
+		return 1
+	}
+	//grinchvet:ignore secret-index,secret-branch fixture: both waived
+	if table[s&0xf] > 8 {
+		return 2
+	}
+	if table[s&0xf] > 8 { // want "secret-index" "secret-branch"
+		return 3
+	}
+	return 0
+}
+
+type box struct {
+	//grinch:secret key
+	key uint64
+}
+
+// lookup leaks; the suppressed copy is waived inside the method body.
+func (b box) lookup() uint8 {
+	return table[b.key&0xf] // want "secret-index"
+}
+
+func (b box) lookupWaived() uint8 {
+	//grinchvet:ignore secret-index fixture: waived inside a method body
+	return table[b.key&0xf]
+}
+
+// MethodValue: calling through a bound method value still analyzes the
+// method body once — the ignore inside lookupWaived holds, the finding
+// in lookup stays attributed to lookup (not to the call site).
+func MethodValue(b box) uint8 {
+	f := b.lookup
+	g := b.lookupWaived
+	return f() + g()
+}

@@ -70,6 +70,25 @@ func (c Config) validate() error {
 // Lines returns the total number of cache lines the config describes.
 func (c Config) Lines() int { return c.Sets * c.Ways }
 
+// PaperLineSizes are the cache-line sizes, in bytes, swept by the
+// paper's Table I (1-byte words, lines of 1/2/4/8 words). The
+// quantitative leakage model in internal/analysis and its trace
+// cross-check (internal/analysis/quantcheck) share this sweep, so the
+// static bits-per-observation estimates line up with the line
+// geometries the campaign configs actually run.
+func PaperLineSizes() []int { return []int{1, 2, 4, 8} }
+
+// LinesSpanned returns how many cache lines a contiguous table of
+// tableBytes bytes occupies with the given line size: the number of
+// distinct lines an attacker probing that table can observe. Zero-size
+// tables span 0 lines; lineBytes must be ≥ 1.
+func LinesSpanned(tableBytes, lineBytes int) int {
+	if tableBytes <= 0 || lineBytes < 1 {
+		return 0
+	}
+	return (tableBytes + lineBytes - 1) / lineBytes
+}
+
 // Result reports the outcome of a single access.
 type Result struct {
 	// Hit is true when the line was already resident.
