@@ -46,7 +46,7 @@ bench:
 # BENCH_baseline.json via cmd/benchjson. Values are machine-dependent;
 # the committed file records the reference machine's numbers.
 bench-json:
-	$(GO) test -bench 'BenchmarkAttackNilTracer$$|BenchmarkTable1$$|BenchmarkTable1Campaign$$' \
+	$(GO) test -bench 'BenchmarkAttackNilTracer$$|BenchmarkAttackNilMetrics$$|BenchmarkAttackMetrics$$|BenchmarkTable1$$|BenchmarkTable1Campaign$$' \
 		-benchtime 3x -run XXX . ./internal/experiments/ | \
 		$(GO) run ./cmd/benchjson -o BENCH_baseline.json
 

@@ -15,6 +15,7 @@ import (
 	"grinch/internal/countermeasure"
 	"grinch/internal/gift"
 	"grinch/internal/obs"
+	"grinch/internal/obs/metrics"
 	"grinch/internal/oracle"
 	"grinch/internal/probe"
 	"grinch/internal/rng"
@@ -83,6 +84,56 @@ func BenchmarkAttackTraced(b *testing.B) {
 	}
 	b.ReportMetric(float64(total)/float64(b.N), "encryptions/op")
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// attackFirstRoundMetrics is attackFirstRound with a metrics registry
+// (possibly nil) threaded through the attacker, for the fleet-metrics
+// cost model.
+func attackFirstRoundMetrics(b *testing.B, key bitutil.Word128, ocfg oracle.Config, seed, budget uint64, reg *metrics.Registry) uint64 {
+	b.Helper()
+	ch, err := oracle.New(key, ocfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.NewAttacker(ch, core.Config{Seed: seed, TotalBudget: budget, Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := a.AttackRound(1, nil, nil)
+	if err != nil {
+		return ch.Encryptions()
+	}
+	return out.Encryptions
+}
+
+// BenchmarkAttackNilMetrics and BenchmarkAttackMetrics pin the
+// fleet-metrics cost model (DESIGN.md §14) the same way the tracer
+// pair above pins §10's: with a nil registry every emission is one
+// nil-check branch, so NilMetrics must stay within noise of the
+// untraced baseline; Metrics shows the live price of the pre-resolved
+// atomic counters and histograms.
+func BenchmarkAttackNilMetrics(b *testing.B) {
+	r := rng.New(2021)
+	var total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
+		total += attackFirstRoundMetrics(b, key, oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1}, r.Uint64(), 2_000_000, nil)
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "encryptions/op")
+}
+
+func BenchmarkAttackMetrics(b *testing.B) {
+	r := rng.New(2021)
+	reg := metrics.New() // shared across iterations, as a campaign would share it
+	var total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := bitutil.Word128{Lo: r.Uint64(), Hi: r.Uint64()}
+		total += attackFirstRoundMetrics(b, key, oracle.Config{ProbeRound: 1, Flush: true, LineWords: 1}, r.Uint64(), 2_000_000, reg)
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "encryptions/op")
+	b.ReportMetric(float64(len(reg.Snapshot())), "series")
 }
 
 // BenchmarkFig3 regenerates the two Fig. 3 series; probing rounds 1–5

@@ -68,6 +68,7 @@ import (
 	"grinch/internal/experiments"
 	"grinch/internal/faults"
 	"grinch/internal/obs"
+	obsmetrics "grinch/internal/obs/metrics"
 )
 
 func main() {
@@ -129,15 +130,20 @@ func main() {
 	defer stop()
 
 	metrics := campaign.NewMetrics()
+	var reg *obsmetrics.Registry
 	if *debugAddr != "" {
-		serveDebug(*debugAddr, metrics)
+		// The registry rides the debug endpoint: without -debug-addr it
+		// stays nil and the run loop takes the zero-cost path.
+		reg = obsmetrics.New()
+		serveDebug(*debugAddr, metrics, reg)
 	}
 	var done64 atomic.Int64
 	opts := campaign.Options{
-		Workers: *workers,
-		Sinks:   sinks,
-		Journal: *journal,
-		Metrics: metrics,
+		Workers:  *workers,
+		Sinks:    sinks,
+		Journal:  *journal,
+		Metrics:  metrics,
+		Registry: reg,
 		Progress: func(done, total int) {
 			done64.Store(int64(done))
 		},
@@ -210,11 +216,19 @@ func (f *failures) report() {
 }
 
 // serveDebug publishes the campaign metrics as the expvar "campaign"
-// variable and serves the default mux — /debug/vars (expvar) and
-// /debug/pprof (net/http/pprof) — on addr. Debugging telemetry only:
-// it never feeds back into results or traces.
-func serveDebug(addr string, m *campaign.Metrics) {
+// variable (schema documented in DESIGN.md §14) and serves the default
+// mux — /debug/vars (expvar), /metrics (Prometheus text exposition of
+// the campaign_* registry) and /debug/pprof (net/http/pprof) — on
+// addr. Debugging telemetry only: it never feeds back into results or
+// traces.
+func serveDebug(addr string, m *campaign.Metrics, reg *obsmetrics.Registry) {
 	expvar.Publish("campaign", m)
+	http.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obsmetrics.ContentType)
+		if err := obsmetrics.WriteProm(w, reg.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: writing /metrics: %v\n", err)
+		}
+	})
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: debug server: %v\n", err)

@@ -31,9 +31,13 @@
 // every campaign from its journals.
 //
 // The status page at /status shows shard states, jobs/sec and workers
-// seen; /debug/vars (expvar, including the "campaignd" counter set)
-// and /debug/pprof are built in — the -debug-addr endpoint of
-// cmd/campaign, grown into the service.
+// seen; /metrics serves the Prometheus text exposition (coordinator
+// counters plus per-worker campaignw_* series aggregated from
+// heartbeat deltas, DESIGN.md §14); /api/v1/status returns the same
+// fleet view as JSON with per-shard latency quantiles; /debug/vars
+// (expvar, including the "campaignd" counter set) and /debug/pprof
+// are built in — the -debug-addr endpoint of cmd/campaign, grown into
+// the service.
 package main
 
 import (

@@ -12,6 +12,7 @@
 //	grinch -json                     # machine-readable result record
 //	grinch -trace run.trace.jsonl    # record the attack's event trace
 //	grinch -faults plan.json         # inject structured channel faults
+//	grinch -metrics run.prom         # dump attack/probe metrics at exit
 //
 // With -faults the observation channel is wrapped in a deterministic
 // fault injector (internal/faults): the JSON plan declares burst noise,
@@ -45,6 +46,7 @@ import (
 	"grinch/internal/faults"
 	"grinch/internal/gift"
 	"grinch/internal/obs"
+	"grinch/internal/obs/metrics"
 	"grinch/internal/oracle"
 	"grinch/internal/probe"
 	"grinch/internal/rng"
@@ -52,6 +54,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with an exit code instead of os.Exit calls, so
+// deferred work — the trace flush and the -metrics dump — runs on
+// every exit path, success or failure.
+func run() int {
 	var (
 		keyHex     = flag.String("key", "", "victim key (32 hex digits; random when empty)")
 		seed       = flag.Uint64("seed", 1, "seed for plaintext randomization and key generation")
@@ -68,6 +77,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit one campaign-result JSON record instead of text")
 		tracePath  = flag.String("trace", "", "JSON-lines event-trace file (internal/obs format; render with traceview)")
 		faultsPath = flag.String("faults", "", "fault-plan JSON file (internal/faults schema); injects deterministic structured faults into the channel")
+		promPath   = flag.String("metrics", "", "write the attack's metrics registry as Prometheus text exposition to this file at exit (\"-\" for stderr)")
 	)
 	flag.Parse()
 
@@ -87,6 +97,29 @@ func main() {
 		}()
 	}
 
+	var reg *metrics.Registry
+	if *promPath != "" {
+		// Without -metrics the registry stays nil and every emission
+		// point in the attack and probe layers takes its zero-cost
+		// branch.
+		reg = metrics.New()
+		defer func() {
+			out := os.Stderr
+			if *promPath != "-" {
+				f, err := os.Create(*promPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "grinch: %v\n", err)
+					return
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := metrics.WriteProm(out, reg.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "grinch: writing -metrics: %v\n", err)
+			}
+		}()
+	}
+
 	r := rng.New(*seed)
 	var key bitutil.Word128
 	if *keyHex == "" {
@@ -101,7 +134,7 @@ func main() {
 		key = bitutil.Word128FromBytes(arr)
 	}
 
-	ch, err := buildChannel(key, *platform, *primitive, *mhz, *probeRound, !*noFlush, *lineWords, r.Uint64(), tracer)
+	ch, err := buildChannel(key, *platform, *primitive, *mhz, *probeRound, !*noFlush, *lineWords, r.Uint64(), tracer, reg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -126,6 +159,7 @@ func main() {
 		TotalBudget: *budget,
 		Threshold:   *threshold,
 		Tracer:      tracer,
+		Metrics:     reg,
 	}
 	if *threshold < 1 {
 		// Tolerant thresholds need a statistical floor before any
@@ -196,9 +230,10 @@ func main() {
 				record.Encryptions = attacker.Encryptions()
 				record.DroppedOut = true
 				emitJSON(record)
-				os.Exit(1)
+				return 1
 			}
-			fatalf("first-round attack failed: %v", err)
+			fmt.Fprintf(os.Stderr, "grinch: first-round attack failed: %v\n", err)
+			return 1
 		}
 		want := gift.ExpandKey64(key)[0]
 		record.Encryptions = out.Encryptions
@@ -206,7 +241,7 @@ func main() {
 			record.Correct = rk.U == want.U && rk.V == want.V
 			if *jsonOut {
 				emitJSON(record)
-				return
+				return 0
 			}
 			status := "MATCH"
 			//grinchvet:ignore secret-branch ground-truth verification of the recovered key
@@ -219,13 +254,13 @@ func main() {
 		} else {
 			if *jsonOut {
 				emitJSON(record)
-				return
+				return 0
 			}
 			//grinchvet:ignore wallclock CLI wall-time reporting only
 			fmt.Printf("first-round attack: %d encryptions, %v wall time\n", out.Encryptions, time.Since(start).Round(time.Millisecond))
 			fmt.Printf("recovered rk1 with per-segment candidates (wide lines): %v\n", out.Cands)
 		}
-		return
+		return 0
 	}
 
 	var (
@@ -251,22 +286,23 @@ func main() {
 		record.Confidence = partial.Confidence()
 		if *jsonOut {
 			emitJSON(record)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("partial result:  %s after %d encryptions (%d faults injected)\n",
 			partial.Reason, partial.Encryptions, record.Faults)
 		fmt.Printf("                 %d round keys resolved; %d/%d segments of the next round converged (mean confidence %.2f)\n",
 			partial.ResolvedRounds, partial.Converged(), len(partial.Segments), partial.Confidence())
-		os.Exit(1)
+		return 1
 	}
 	if err != nil {
 		if *jsonOut {
 			record.Encryptions = attacker.Encryptions()
 			record.DroppedOut = true
 			emitJSON(record)
-			os.Exit(1)
+			return 1
 		}
-		fatalf("attack failed after %d encryptions: %v", attacker.Encryptions(), err)
+		fmt.Fprintf(os.Stderr, "grinch: attack failed after %d encryptions: %v\n", attacker.Encryptions(), err)
+		return 1
 	}
 	record.Encryptions = res.Encryptions
 	record.Correct = res.Key == key
@@ -274,9 +310,9 @@ func main() {
 		emitJSON(record)
 		//grinchvet:ignore secret-branch ground-truth verification of the recovered key
 		if !record.Correct {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	rb := res.Key.Bytes()
 	fmt.Printf("recovered key:   %x\n", rb)
@@ -288,8 +324,9 @@ func main() {
 		fmt.Println("result:          FULL KEY RECOVERED")
 	} else {
 		fmt.Println("result:          MISMATCH")
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // emitJSON prints one campaign-result record on stdout.
@@ -301,7 +338,7 @@ func emitJSON(r campaign.Result) {
 	fmt.Println(string(b))
 }
 
-func buildChannel(key bitutil.Word128, platform, primitive string, mhz uint64, probeRound int, flush bool, lineWords int, noiseSeed uint64, tracer obs.Tracer) (probe.Channel, error) {
+func buildChannel(key bitutil.Word128, platform, primitive string, mhz uint64, probeRound int, flush bool, lineWords int, noiseSeed uint64, tracer obs.Tracer, reg *metrics.Registry) (probe.Channel, error) {
 	switch platform {
 	case "oracle":
 		o, err := oracle.New(key, oracle.Config{
@@ -326,11 +363,15 @@ func buildChannel(key bitutil.Word128, platform, primitive string, mhz uint64, p
 		default:
 			return nil, fmt.Errorf("unknown primitive %q (flush-reload, prime-probe)", primitive)
 		}
-		return &soc.PlatformChannel{P: soc.NewSingleSoC(key, p), LineBytes: lineWords, Tracer: tracer}, nil
+		s := soc.NewSingleSoC(key, p)
+		s.SetMetrics(reg)
+		return &soc.PlatformChannel{P: s, LineBytes: lineWords, Tracer: tracer}, nil
 	case "mpsoc":
 		p := soc.DefaultParams(mhz)
 		p.CacheLineBytes = lineWords
-		return &soc.PlatformChannel{P: soc.NewMPSoC(key, p), LineBytes: lineWords, Tracer: tracer}, nil
+		m := soc.NewMPSoC(key, p)
+		m.SetMetrics(reg)
+		return &soc.PlatformChannel{P: m, LineBytes: lineWords, Tracer: tracer}, nil
 	}
 	return nil, fmt.Errorf("unknown platform %q (oracle, soc, mpsoc)", platform)
 }

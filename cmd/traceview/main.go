@@ -10,6 +10,7 @@
 //	traceview -csv run.trace.jsonl       # flat CSV of every curve point
 //	traceview -cache run.trace.jsonl     # per-job cache-activity totals
 //	traceview -faults run.trace.jsonl    # per-job fault/retry/restart totals
+//	traceview -metrics run.trace.jsonl   # per-job metric rollup (fleet vocabulary)
 //	campaign -trace - ... | traceview -  # read the trace from stdin
 //
 // Rendering is a pure function of the trace bytes: the same trace
@@ -33,6 +34,7 @@ func main() {
 		csvOut     = flag.Bool("csv", false, "render every curve point as CSV")
 		cacheOut   = flag.Bool("cache", false, "render per-job cache-activity totals")
 		faultsOut  = flag.Bool("faults", false, "render per-job fault-injection and recovery totals")
+		metricsOut = flag.Bool("metrics", false, "render the per-job metric rollup (encryptions, probes, observations, segments, recovery)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,8 @@ func main() {
 	switch {
 	case *csvOut:
 		err = report.WriteCurveCSV(out, report.Fold(events))
+	case *metricsOut:
+		err = report.WriteMetricsTable(out, report.FoldMetrics(events))
 	case *faultsOut:
 		sums := report.FoldFaults(events)
 		if len(sums) == 0 {

@@ -1,0 +1,85 @@
+package campaign
+
+import (
+	"grinch/internal/obs/metrics"
+)
+
+// runMeter is the campaign executor's pre-resolved instrument set over
+// an obs/metrics registry. It complements the expvar-oriented Metrics
+// type: Metrics is the live single-process snapshot; the registry
+// series are the fleet-wide vocabulary that workers ship to the
+// coordinator and /metrics exposes. The zero value (nil
+// Options.Registry) is fully inert.
+type runMeter struct {
+	done    *metrics.Counter
+	failed  *metrics.Counter
+	skipped *metrics.Counter
+
+	encryptions *metrics.Counter
+	retries     *metrics.Counter
+	faults      *metrics.Counter
+	partial     *metrics.Counter
+	droppedOut  *metrics.Counter
+
+	jobEnc *metrics.Histogram
+	wallMS *metrics.Histogram
+}
+
+// newRunMeter resolves the campaign instrument set.
+func newRunMeter(r *metrics.Registry) runMeter {
+	if r == nil {
+		return runMeter{}
+	}
+	status := func(s string) *metrics.Counter {
+		return r.Counter("campaign_jobs_total",
+			"Campaign jobs accounted, by terminal status.", metrics.L("status", s))
+	}
+	return runMeter{
+		done:    status("done"),
+		failed:  status("failed"),
+		skipped: status("skipped"),
+		encryptions: r.Counter("campaign_encryptions_total",
+			"Victim encryptions consumed across executed jobs."),
+		retries: r.Counter("campaign_retries_total",
+			"Transient-failure retries spent across executed jobs."),
+		faults: r.Counter("campaign_faults_total",
+			"Faults the injector fired across executed jobs."),
+		partial: r.Counter("campaign_partial_total",
+			"Jobs that ended in a structured partial result."),
+		droppedOut: r.Counter("campaign_dropped_out_total",
+			"Jobs that blew their encryption budget (the paper's >1M cells)."),
+		jobEnc: r.Histogram("campaign_job_encryptions",
+			"Victim encryptions per executed job.", metrics.EncryptionBuckets),
+		wallMS: r.WallHistogram("campaign_job_wall_ms",
+			"Per-job wall-clock duration, milliseconds (non-deterministic).", metrics.DurationMSBuckets),
+	}
+}
+
+// begin accounts the journal-replayed jobs (skipped plus their
+// failures) so fleet counters match the run's true totals.
+func (m runMeter) begin(skipped, priorFailed int) {
+	m.skipped.Add(uint64(skipped))
+	m.failed.Add(uint64(priorFailed))
+}
+
+// finished accounts one executed job's terminal state.
+func (m runMeter) finished(r Result) {
+	if r.Failed {
+		m.failed.Inc()
+	} else {
+		m.done.Inc()
+	}
+	m.encryptions.Add(r.Encryptions)
+	m.retries.Add(r.Retries)
+	m.faults.Add(r.Faults)
+	if r.Partial {
+		m.partial.Inc()
+	}
+	if r.DroppedOut {
+		m.droppedOut.Inc()
+	}
+	m.jobEnc.Observe(r.Encryptions)
+	if r.DurationNS > 0 {
+		m.wallMS.Observe(uint64(r.DurationNS) / 1e6)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"grinch/internal/obs"
+	"grinch/internal/obs/metrics"
 )
 
 // Options configure one campaign run.
@@ -23,6 +24,11 @@ type Options struct {
 	Journal string
 	// Metrics receives live counters; nil allocates a private set.
 	Metrics *Metrics
+	// Registry, if set, receives fleet-vocabulary series (campaign_*:
+	// per-status job counters, encryption histograms, wall-time
+	// quarantined separately) alongside the expvar-oriented Metrics.
+	// Nil disables at one nil-check per job.
+	Registry *metrics.Registry
 	// Progress, if set, is called after every completed or replayed
 	// job with (jobs accounted for, grid size). Calls are serialized.
 	Progress func(done, total int)
@@ -108,6 +114,8 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 		}
 	}
 	metrics.begin(len(jobs), len(prior), failedReplayed)
+	meter := newRunMeter(opts.Registry)
+	meter.begin(len(prior), failedReplayed)
 
 	sinks := multiSink(opts.Sinks)
 	if err := sinks.Begin(spec, len(jobs)); err != nil {
@@ -201,6 +209,7 @@ func Run(ctx context.Context, spec Spec, exec Executor, opts Options) (Report, e
 	for tr := range resCh {
 		res := tr.Result
 		metrics.jobFinished(res)
+		meter.finished(res)
 		rep.Executed++
 		if res.Failed {
 			rep.Failed++

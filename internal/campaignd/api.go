@@ -39,16 +39,19 @@ package campaignd
 
 import (
 	"grinch/internal/campaign"
+	"grinch/internal/obs/metrics"
 )
 
 // API paths (version-prefixed so the wire protocol can evolve).
 const (
-	PathCampaigns = "/api/v1/campaigns"
-	PathLease     = "/api/v1/lease"
-	PathResults   = "/api/v1/results"
-	PathHeartbeat = "/api/v1/heartbeat"
-	PathComplete  = "/api/v1/complete"
-	PathStatus    = "/status"
+	PathCampaigns  = "/api/v1/campaigns"
+	PathLease      = "/api/v1/lease"
+	PathResults    = "/api/v1/results"
+	PathHeartbeat  = "/api/v1/heartbeat"
+	PathComplete   = "/api/v1/complete"
+	PathStatus     = "/status"
+	PathStatusJSON = "/api/v1/status"
+	PathMetrics    = "/metrics"
 )
 
 // SubmitRequest submits one campaign: the spec plus server-side
@@ -90,6 +93,15 @@ type ShardStatus struct {
 	// Reissues counts lease expiries that returned the shard to the
 	// pending state.
 	Reissues int `json:"reissues,omitempty"`
+	// Encryptions sums the victim encryptions of the shard's ingested
+	// results (journal-replayed results included).
+	Encryptions uint64 `json:"encryptions,omitempty"`
+	// P50MS/P90MS/P99MS are ingestion-observed job wall-latency
+	// quantiles in milliseconds (0 until results arrive this process —
+	// journals store canonical results, which carry no timing).
+	P50MS float64 `json:"p50_ms,omitempty"`
+	P90MS float64 `json:"p90_ms,omitempty"`
+	P99MS float64 `json:"p99_ms,omitempty"`
 }
 
 // Campaign states.
@@ -155,20 +167,34 @@ type Lease struct {
 
 // ReportRequest streams a batch of completed results for a leased
 // shard. Results outside the lease's shard range are rejected.
+//
+// Worker and Metrics piggyback the sender's telemetry delta (see
+// metrics.Delta: cumulative totals plus a monotone sequence number, so
+// retried or replayed batches can never double-count). The server
+// applies the delta even when the lease turns out to be dead —
+// telemetry is health data, not shard state.
 type ReportRequest struct {
 	Lease   string            `json:"lease"`
 	Results []campaign.Result `json:"results"`
+	Worker  string            `json:"worker,omitempty"`
+	Metrics *metrics.Delta    `json:"metrics,omitempty"`
 }
 
-// HeartbeatRequest extends a lease.
+// HeartbeatRequest extends a lease, optionally carrying a telemetry
+// delta (see ReportRequest).
 type HeartbeatRequest struct {
-	Lease string `json:"lease"`
+	Lease   string         `json:"lease"`
+	Worker  string         `json:"worker,omitempty"`
+	Metrics *metrics.Delta `json:"metrics,omitempty"`
 }
 
 // CompleteRequest marks a leased shard fully executed. The server
-// verifies every index in the shard range has been ingested.
+// verifies every index in the shard range has been ingested. Worker
+// and Metrics carry the final telemetry delta of the shard.
 type CompleteRequest struct {
-	Lease string `json:"lease"`
+	Lease   string         `json:"lease"`
+	Worker  string         `json:"worker,omitempty"`
+	Metrics *metrics.Delta `json:"metrics,omitempty"`
 }
 
 // errorResponse is the JSON body of non-2xx API responses.

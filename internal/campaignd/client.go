@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"grinch/internal/campaign"
+	"grinch/internal/obs/metrics"
 )
 
 // ErrLeaseGone reports that the server revoked the lease a call
@@ -98,17 +99,40 @@ func (c *Client) Lease(worker string) (LeaseResponse, error) {
 
 // Report streams a result batch for a leased shard.
 func (c *Client) Report(leaseID string, results []campaign.Result) error {
-	return c.post(PathResults, ReportRequest{Lease: leaseID, Results: results}, nil)
+	return c.ReportDelta(leaseID, results, "", nil)
+}
+
+// ReportDelta is Report with a piggybacked worker telemetry delta
+// (ignored server-side when worker is empty or d is nil).
+func (c *Client) ReportDelta(leaseID string, results []campaign.Result, worker string, d *metrics.Delta) error {
+	return c.post(PathResults, ReportRequest{Lease: leaseID, Results: results, Worker: worker, Metrics: d}, nil)
 }
 
 // Heartbeat extends a lease.
 func (c *Client) Heartbeat(leaseID string) error {
-	return c.post(PathHeartbeat, HeartbeatRequest{Lease: leaseID}, nil)
+	return c.HeartbeatDelta(leaseID, "", nil)
+}
+
+// HeartbeatDelta is Heartbeat with a piggybacked telemetry delta.
+func (c *Client) HeartbeatDelta(leaseID, worker string, d *metrics.Delta) error {
+	return c.post(PathHeartbeat, HeartbeatRequest{Lease: leaseID, Worker: worker, Metrics: d}, nil)
 }
 
 // Complete marks a leased shard fully executed.
 func (c *Client) Complete(leaseID string) error {
-	return c.post(PathComplete, CompleteRequest{Lease: leaseID}, nil)
+	return c.CompleteDelta(leaseID, "", nil)
+}
+
+// CompleteDelta is Complete with a piggybacked telemetry delta.
+func (c *Client) CompleteDelta(leaseID, worker string, d *metrics.Delta) error {
+	return c.post(PathComplete, CompleteRequest{Lease: leaseID, Worker: worker, Metrics: d}, nil)
+}
+
+// FleetStatus fetches the machine-readable coordinator status.
+func (c *Client) FleetStatus() (FleetStatus, error) {
+	var out FleetStatus
+	err := c.get(PathStatusJSON, &out)
+	return out, err
 }
 
 // Statuses lists every campaign.

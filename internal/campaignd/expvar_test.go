@@ -1,0 +1,95 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+
+	"grinch/internal/campaign"
+)
+
+// jsonKeys marshals v and returns its top-level keys, sorted.
+func jsonKeys(t *testing.T, v any) []string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]any{}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m { //grinchvet:ignore maporder key collection; sorted on the next line
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestExpvarSchemas pins the two expvar maps the CLIs publish —
+// cmd/campaign's "campaign" variable (campaign.Snapshot) and
+// cmd/campaignd's "campaignd" variable (MetricsSnapshot). The names
+// differ on purpose (each binary publishes under its own name so both
+// can run in one process without colliding), but the key vocabulary is
+// the contract: where both maps describe the same thing they use the
+// same key. Schemas are documented in DESIGN.md §14; changing either
+// struct means updating the doc and this test together.
+func TestExpvarSchemas(t *testing.T) {
+	wantCampaign := []string{
+		"encryptions",
+		"in_flight",
+		"job_ms_max",
+		"job_ms_mean",
+		"jobs_done",
+		"jobs_failed",
+		"jobs_skipped",
+		"jobs_total",
+		"queue_depth",
+	}
+	if got := jsonKeys(t, campaign.NewMetrics().Snapshot()); !reflect.DeepEqual(got, wantCampaign) {
+		t.Errorf("expvar \"campaign\" keys drifted:\n got %v\nwant %v", got, wantCampaign)
+	}
+
+	wantCampaignd := []string{
+		"campaigns",
+		"campaigns_merged",
+		"duplicates",
+		"encryptions",
+		"eta_seconds",
+		"jobs_done",
+		"jobs_failed",
+		"jobs_per_second",
+		"jobs_total",
+		"leases_active",
+		"leases_issued",
+		"reissues",
+		"shards",
+		"shards_done",
+		"shards_leased",
+		"suggested_shard_size",
+		"uptime_seconds",
+		"workers",
+	}
+	if got := jsonKeys(t, MetricsSnapshot{}); !reflect.DeepEqual(got, wantCampaignd) {
+		t.Errorf("expvar \"campaignd\" keys drifted:\n got %v\nwant %v", got, wantCampaignd)
+	}
+
+	// The overlap is the shared vocabulary: keys present in both maps
+	// must mean the same thing, so the sets are pinned here too.
+	wantShared := []string{"encryptions", "jobs_done", "jobs_failed", "jobs_total"}
+	in := func(ks []string, k string) bool {
+		for _, x := range ks {
+			if x == k {
+				return true
+			}
+		}
+		return false
+	}
+	for _, k := range wantShared {
+		if !in(wantCampaign, k) || !in(wantCampaignd, k) {
+			t.Errorf("shared expvar key %q missing from one of the maps", k)
+		}
+	}
+}

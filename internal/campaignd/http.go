@@ -27,6 +27,8 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST "+PathHeartbeat, s.handleHeartbeat)
 	mux.HandleFunc("POST "+PathComplete, s.handleComplete)
 	mux.HandleFunc("GET "+PathStatus, s.handleStatusPage)
+	mux.HandleFunc("GET "+PathStatusJSON, s.handleStatusJSON)
+	mux.HandleFunc("GET "+PathMetrics, s.handleMetrics)
 	mux.HandleFunc("GET /", s.handleRoot)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -120,6 +122,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.applyDelta(req.Worker, req.Metrics)
 	if err := s.Ingest(req.Lease, req.Results); err != nil {
 		writeError(w, errCode(err), "%v", err)
 		return
@@ -132,6 +135,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.applyDelta(req.Worker, req.Metrics)
 	if err := s.Heartbeat(req.Lease); err != nil {
 		writeError(w, errCode(err), "%v", err)
 		return
@@ -144,6 +148,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.applyDelta(req.Worker, req.Metrics)
 	if err := s.Complete(req.Lease); err != nil {
 		writeError(w, errCode(err), "%v", err)
 		return

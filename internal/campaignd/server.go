@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"grinch/internal/campaign"
+	"grinch/internal/obs/metrics"
 )
 
 // Options configure a coordinator.
@@ -65,6 +66,12 @@ type Server struct {
 	resultsIngested int
 	duplicates      int
 	reissues        int
+
+	// reg accumulates the coordinator's own instruments (per-shard
+	// ingestion-latency histograms); telemetry stores the latest
+	// cumulative delta per worker. Both are internally synchronized.
+	reg       *metrics.Registry
+	telemetry *metrics.Store
 }
 
 type campaignState struct {
@@ -90,6 +97,11 @@ type shardState struct {
 	failed   int
 	results  map[int]campaign.Result
 	journal  *shardJournal
+	// encs sums the victim encryptions of ingested (and
+	// journal-replayed) results; latMS observes each live-ingested
+	// result's wall duration before canonicalization strips it.
+	encs  uint64
+	latMS *metrics.Histogram
 }
 
 type lease struct {
@@ -127,6 +139,8 @@ func NewServer(opts Options) (*Server, error) {
 		campaigns: map[string]*campaignState{},
 		leases:    map[string]*lease{},
 		workers:   map[string]*workerSeen{},
+		reg:       metrics.New(),
+		telemetry: metrics.NewStore(),
 	}
 	s.started = s.now()
 	if opts.DataDir != "" {
@@ -231,6 +245,10 @@ func (s *Server) buildCampaign(id string, req SubmitRequest, dir string) (*campa
 	}
 	for _, rng := range Partition(jobs, shardSize) {
 		sh := &shardState{rng: rng, state: ShardPending, results: map[int]campaign.Result{}}
+		sh.latMS = s.reg.WallHistogram("campaignd_shard_job_ms",
+			"Per-job wall duration at ingestion, milliseconds, by shard.",
+			metrics.DurationMSBuckets,
+			metrics.L("campaign", id), metrics.L("shard", fmt.Sprint(rng.Shard)))
 		if dir != "" {
 			j, prior, err := openShardJournal(dir, id, c.fp, rng)
 			if err != nil {
@@ -250,6 +268,7 @@ func (s *Server) buildCampaign(id string, req SubmitRequest, dir string) (*campa
 				if r.Failed {
 					sh.failed++
 				}
+				sh.encs += r.Encryptions
 			}
 			if complete {
 				sh.state = ShardDone
@@ -438,6 +457,8 @@ func (s *Server) Ingest(leaseID string, results []campaign.Result) error {
 		if !sh.rng.Contains(r.Job) {
 			return fmt.Errorf("campaignd: lease %s reported job %d outside %s", leaseID, r.Job, sh.rng)
 		}
+		// Latency must be read before Canonical strips it.
+		wallNS := r.DurationNS
 		r = r.Canonical()
 		if _, dup := sh.results[r.Job]; dup {
 			s.duplicates++
@@ -450,10 +471,22 @@ func (s *Server) Ingest(leaseID string, results []campaign.Result) error {
 		if r.Failed {
 			sh.failed++
 		}
+		sh.encs += r.Encryptions
+		if wallNS > 0 {
+			sh.latMS.Observe(uint64(wallNS) / 1e6)
+		}
 		s.resultsIngested++
 		w.results++
 	}
 	return nil
+}
+
+// ApplyTelemetry installs a worker's cumulative metrics delta. Stale
+// deltas (sequence number not beyond the last applied) are ignored, so
+// retried batches and journal replays never double-count. Exposed for
+// the HTTP handlers and tests.
+func (s *Server) ApplyTelemetry(worker string, d metrics.Delta) bool {
+	return s.telemetry.Apply(worker, d)
 }
 
 // Complete marks a leased shard done, verifying full coverage of its
@@ -614,17 +647,30 @@ func (s *Server) statusLocked(c *campaignState, shards bool) CampaignStatus {
 	if c.merged {
 		st.State = CampaignMerged
 	}
+	var snap []metrics.Series
+	if shards {
+		snap = s.reg.Snapshot()
+	}
 	for _, sh := range c.shards {
 		st.Done += len(sh.results)
 		st.Failed += sh.failed
 		if shards {
-			st.Shards = append(st.Shards, ShardStatus{
-				ShardRange: sh.rng,
-				State:      sh.state,
-				Worker:     sh.worker,
-				Done:       len(sh.results),
-				Reissues:   sh.reissues,
-			})
+			row := ShardStatus{
+				ShardRange:  sh.rng,
+				State:       sh.state,
+				Worker:      sh.worker,
+				Done:        len(sh.results),
+				Reissues:    sh.reissues,
+				Encryptions: sh.encs,
+			}
+			ser, ok := metrics.Find(snap, "campaignd_shard_job_ms",
+				metrics.L("campaign", c.id), metrics.L("shard", fmt.Sprint(sh.rng.Shard)))
+			if ok && ser.Count() > 0 {
+				row.P50MS = ser.Quantile(0.50)
+				row.P90MS = ser.Quantile(0.90)
+				row.P99MS = ser.Quantile(0.99)
+			}
+			st.Shards = append(st.Shards, row)
 		}
 	}
 	return st

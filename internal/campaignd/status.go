@@ -19,6 +19,7 @@ type MetricsSnapshot struct {
 	JobsTotal       int     `json:"jobs_total"`
 	JobsDone        int     `json:"jobs_done"`
 	JobsFailed      int     `json:"jobs_failed"`
+	Encryptions     uint64  `json:"encryptions"`
 	LeasesIssued    int     `json:"leases_issued"`
 	LeasesActive    int     `json:"leases_active"`
 	Reissues        int     `json:"reissues"`
@@ -26,6 +27,12 @@ type MetricsSnapshot struct {
 	Workers         int     `json:"workers"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	JobsPerSecond   float64 `json:"jobs_per_second"`
+	// ETASeconds estimates time-to-drain from the observed ingestion
+	// rate (0 when idle or done). SuggestedShardSize is a shard-size
+	// hint derived from observed job latency against the lease TTL (0
+	// until latency data accumulates).
+	ETASeconds         float64 `json:"eta_seconds"`
+	SuggestedShardSize int     `json:"suggested_shard_size"`
 }
 
 // Metrics returns the current snapshot. Jobs/sec is ingested results
@@ -52,6 +59,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		for _, sh := range c.shards {
 			snap.JobsDone += len(sh.results)
 			snap.JobsFailed += sh.failed
+			snap.Encryptions += sh.encs
 			switch sh.state {
 			case ShardDone:
 				snap.ShardsDone++
@@ -65,6 +73,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if up > 0 {
 		snap.JobsPerSecond = float64(s.resultsIngested) / up
 	}
+	if snap.JobsPerSecond > 0 && snap.JobsTotal > snap.JobsDone {
+		snap.ETASeconds = float64(snap.JobsTotal-snap.JobsDone) / snap.JobsPerSecond
+	}
+	snap.SuggestedShardSize = s.suggestedShardSizeLocked()
 	return snap
 }
 
@@ -139,11 +151,7 @@ func (s *Server) statusModel() statusModel {
 			MergeErr:       c.mergeErr,
 		})
 	}
-	ids := make([]string, 0, len(s.workers))
-	for id := range s.workers { //grinchvet:ignore maporder key collection; sorted on the next line
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
+	ids := sortedWorkerIDs(s.workers)
 	now := s.now()
 	for _, id := range ids {
 		wi := s.workers[id]
@@ -155,6 +163,16 @@ func (s *Server) statusModel() statusModel {
 		})
 	}
 	return model
+}
+
+// sortedWorkerIDs lists the worker directory's keys in sorted order.
+func sortedWorkerIDs(workers map[string]*workerSeen) []string {
+	ids := make([]string, 0, len(workers))
+	for id := range workers { //grinchvet:ignore maporder key collection; sorted on the next line
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // String renders the snapshot compactly for logs.

@@ -94,6 +94,8 @@ func Run(ctx context.Context, cfg Config) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	m := newMeter()
+	start := time.Now() //grinchvet:ignore wallclock drain-summary telemetry, never reaches result bytes
 
 	failures := 0
 	for {
@@ -103,6 +105,7 @@ func Run(ctx context.Context, cfg Config) error {
 		resp, err := client.Lease(cfg.ID)
 		if err != nil {
 			failures++
+			m.leaseTries.Inc()
 			if failures >= cfg.ConnectRetries {
 				return fmt.Errorf("worker %s: leasing: %w (after %d attempts)", cfg.ID, err, failures)
 			}
@@ -115,7 +118,10 @@ func Run(ctx context.Context, cfg Config) error {
 		failures = 0
 		if resp.Lease == nil {
 			if cfg.Drain && resp.AllDone {
-				logf("worker %s: coordinator drained; exiting", cfg.ID)
+				sum := m.summary()
+				logf("worker %s: coordinator drained; exiting — %d jobs (%d failed) in %d shards (%d lost), %d lease retries, %.1fs wall",
+					cfg.ID, sum.Jobs, sum.Failed, sum.Shards, sum.Lost, sum.LeaseRetries,
+					time.Since(start).Seconds()) //grinchvet:ignore wallclock drain-summary telemetry
 				return nil
 			}
 			if !sleepCtx(ctx, cfg.Poll) {
@@ -123,11 +129,12 @@ func Run(ctx context.Context, cfg Config) error {
 			}
 			continue
 		}
-		if err := runShard(ctx, cfg, client, logf, resp.Lease); err != nil {
+		if err := runShard(ctx, cfg, client, m, logf, resp.Lease); err != nil {
 			if errors.Is(err, campaignd.ErrLeaseGone) {
 				// The coordinator re-issued the shard (our heartbeats were
 				// too late); whatever we reported is kept, the rest is the
 				// next holder's problem.
+				m.shardsLost.Inc()
 				logf("worker %s: lease %s revoked mid-shard; abandoning", cfg.ID, resp.Lease.ID)
 				continue
 			}
@@ -153,8 +160,9 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 }
 
 // runShard executes one leased shard: expand, skip done, execute,
-// batch-report, complete.
-func runShard(ctx context.Context, cfg Config, client *campaignd.Client, logf func(string, ...any), l *campaignd.Lease) error {
+// batch-report, complete. Every round-trip to the coordinator carries
+// the worker's cumulative telemetry delta.
+func runShard(ctx context.Context, cfg Config, client *campaignd.Client, m *meter, logf func(string, ...any), l *campaignd.Lease) error {
 	all := l.Spec.Jobs()
 	if l.End > len(all) {
 		return fmt.Errorf("worker %s: lease %s range [%d,%d) exceeds grid size %d", cfg.ID, l.ID, l.Start, l.End, len(all))
@@ -187,7 +195,7 @@ func runShard(ctx context.Context, cfg Config, client *campaignd.Client, logf fu
 			case <-shardCtx.Done():
 				return
 			case <-tick.C:
-				if err := client.Heartbeat(l.ID); err != nil {
+				if err := client.HeartbeatDelta(l.ID, cfg.ID, m.delta()); err != nil {
 					if errors.Is(err, campaignd.ErrLeaseGone) {
 						stopShard(campaignd.ErrLeaseGone)
 						return
@@ -203,13 +211,15 @@ func runShard(ctx context.Context, cfg Config, client *campaignd.Client, logf fu
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := client.Report(l.ID, batch); err != nil {
+		if err := client.ReportDelta(l.ID, batch, cfg.ID, m.delta()); err != nil {
 			return err
 		}
+		m.batches.Inc()
 		batch = batch[:0]
 		return nil
 	}
 	execErr := campaign.ExecuteJobs(shardCtx, jobs, cfg.Exec, cfg.Workers, func(r campaign.Result) error {
+		m.result(r)
 		batch = append(batch, r)
 		if len(batch) >= cfg.Batch {
 			return flush()
@@ -227,7 +237,11 @@ func runShard(ctx context.Context, cfg Config, client *campaignd.Client, logf fu
 	if err := flush(); err != nil {
 		return err
 	}
-	if err := client.Complete(l.ID); err != nil {
+	// Count the shard before snapshotting the delta: the complete
+	// round-trip is the worker's last word on this shard, and it may be
+	// the last round-trip of the whole run.
+	m.shardsDone.Inc()
+	if err := client.CompleteDelta(l.ID, cfg.ID, m.delta()); err != nil {
 		return err
 	}
 	logf("worker %s: lease %s complete", cfg.ID, l.ID)

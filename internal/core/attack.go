@@ -8,6 +8,7 @@ import (
 	"grinch/internal/bitutil"
 	"grinch/internal/gift"
 	"grinch/internal/obs"
+	"grinch/internal/obs/metrics"
 	"grinch/internal/probe"
 	"grinch/internal/rng"
 )
@@ -48,6 +49,12 @@ type Config struct {
 	// converged elimination. Nil (the default) disables tracing; the
 	// hot path then pays a single nil check per observation.
 	Tracer obs.Tracer
+	// Metrics, when set, receives quantitative rollups (internal/obs/
+	// metrics): per-observation and per-encryption counters, segment
+	// outcome counters, and candidate-set shrinkage histograms, labeled
+	// by cipher. Nil (the default) disables metering at the same cost
+	// model as the nil tracer — one nil-check branch per emission.
+	Metrics *metrics.Registry
 	// Retry bounds the handling of transient channel failures (errors
 	// exposing a Transient() bool method, e.g. faults.TransientError,
 	// surfaced through probe.FallibleChannel). The zero policy disables
@@ -206,6 +213,9 @@ type Attacker struct {
 	cfg       Config
 	rng       *rng.Source
 	lineWords int
+	// meter holds the pre-resolved metrics instruments (zero when
+	// Config.Metrics is nil).
+	meter attackMeter
 	// backoffPS is the simulated time charged by transient-failure
 	// retries (RetryPolicy.BackoffPS accrual).
 	backoffPS uint64
@@ -230,6 +240,7 @@ func NewAttacker(ch probe.Channel, cfg Config) (*Attacker, error) {
 		cfg:       cfg,
 		rng:       rng.New(cfg.Seed),
 		lineWords: 16 / lines,
+		meter:     newAttackMeter(cfg.Metrics, "GIFT-64"),
 	}, nil
 }
 
@@ -420,6 +431,7 @@ func (a *Attacker) attackTarget(spec TargetSpec, rks []gift.RoundKey64, confirm 
 			minObs = relaxedMinObservations
 		}
 		restarts := out.Restarts + 1
+		a.meter.restarts.Inc()
 		if a.cfg.Tracer != nil {
 			a.cfg.Tracer.Emit(obs.Event{
 				Kind:      obs.KindTargetRestarted,
@@ -453,6 +465,7 @@ func (a *Attacker) eliminateTarget(spec TargetSpec, rks []gift.RoundKey64, confi
 	elim := NewEliminator(a.ch.Lines(), threshold)
 	feasible := spec.FeasibleLines(a.lineWords)
 	full := probe.FullSet(a.ch.Lines())
+	startEnc := a.ch.Encryptions()
 	out := TargetOutcome{Spec: spec, Line: -1}
 	var confirmLeft uint64
 	confirming := false
@@ -477,6 +490,7 @@ func (a *Attacker) eliminateTarget(spec TargetSpec, rks []gift.RoundKey64, confi
 			continue
 		}
 		elim.ObserveMasked(set, mask)
+		a.meter.observations.Inc()
 		if a.cfg.Tracer != nil {
 			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-64", spec.Round, spec.Segment, set, elim)
 		}
@@ -521,6 +535,10 @@ func (a *Attacker) eliminateTarget(spec TargetSpec, rks []gift.RoundKey64, confi
 		}
 	}
 	out.Observations = elim.Observations()
+	a.meter.retries.Add(out.Retries)
+	a.meter.quarantined.Add(out.Quarantined)
+	a.meter.segmentDone(elim.Observations(), uint64(elim.Candidates().Count()),
+		a.ch.Encryptions()-startEnc, out.Converged, out.Exhausted, out.Infeasible)
 	return out
 }
 

@@ -32,6 +32,7 @@ type Attacker128 struct {
 	cfg       Config
 	rng       *rng.Source
 	lineWords int
+	meter     attackMeter
 	// backoffPS, lastRound and lastStatuses mirror Attacker's
 	// robustness bookkeeping (retry clock and graceful-degradation
 	// statuses).
@@ -52,6 +53,7 @@ func NewAttacker128(ch Channel128, cfg Config) (*Attacker128, error) {
 		cfg:       cfg,
 		rng:       rng.New(cfg.Seed),
 		lineWords: 16 / lines,
+		meter:     newAttackMeter(cfg.Metrics, "GIFT-128"),
 	}, nil
 }
 
@@ -151,6 +153,7 @@ func (a *Attacker128) attackTarget128(spec TargetSpec128, rks []gift.RoundKey128
 			minObs = relaxedMinObservations
 		}
 		restarts := out.Restarts + 1
+		a.meter.restarts.Inc()
 		if a.cfg.Tracer != nil {
 			a.cfg.Tracer.Emit(obs.Event{
 				Kind:      obs.KindTargetRestarted,
@@ -177,6 +180,7 @@ func (a *Attacker128) eliminateTarget128(spec TargetSpec128, rks []gift.RoundKey
 	elim := NewEliminator(a.ch.Lines(), threshold)
 	feasible := spec.FeasibleLines(a.lineWords)
 	full := probe.FullSet(a.ch.Lines())
+	startEnc := a.ch.Encryptions()
 	out := TargetOutcome128{Spec: spec, Line: -1}
 	var confirmLeft uint64
 	confirming := false
@@ -198,6 +202,7 @@ func (a *Attacker128) eliminateTarget128(spec TargetSpec128, rks []gift.RoundKey
 			continue
 		}
 		elim.Observe(set)
+		a.meter.observations.Inc()
 		if a.cfg.Tracer != nil {
 			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-128", spec.Round, spec.Segment, set, elim)
 		}
@@ -239,6 +244,10 @@ func (a *Attacker128) eliminateTarget128(spec TargetSpec128, rks []gift.RoundKey
 		}
 	}
 	out.Observations = elim.Observations()
+	a.meter.retries.Add(out.Retries)
+	a.meter.quarantined.Add(out.Quarantined)
+	a.meter.segmentDone(elim.Observations(), uint64(elim.Candidates().Count()),
+		a.ch.Encryptions()-startEnc, out.Converged, out.Exhausted, out.Infeasible)
 	return out
 }
 

@@ -142,6 +142,7 @@ type AttackerP struct {
 	cfg       Config
 	rng       *rng.Source
 	lineWords int
+	meter     attackMeter
 }
 
 // NewAttackerP builds a PRESENT attacker.
@@ -156,6 +157,7 @@ func NewAttackerP(ch ChannelP, cfg Config) (*AttackerP, error) {
 		cfg:       cfg,
 		rng:       rng.New(cfg.Seed),
 		lineWords: 16 / lines,
+		meter:     newAttackMeter(cfg.Metrics, "PRESENT"),
 	}, nil
 }
 
@@ -179,11 +181,13 @@ type TargetOutcomeP struct {
 // AttackTargetP runs crafted elimination for one segment.
 func (a *AttackerP) AttackTargetP(spec TargetSpecP, rks []uint64) TargetOutcomeP {
 	elim := NewEliminator(a.ch.Lines(), a.cfg.Threshold)
+	startEnc := a.ch.Encryptions()
 	out := TargetOutcomeP{Spec: spec, Line: -1}
 
 	for elim.Observations() < a.cfg.MaxObservationsPerTarget && !a.overBudget() {
 		pt := spec.CraftPlaintext(a.rng, rks)
 		elim.Observe(a.ch.Collect(pt, spec.Round))
+		a.meter.observations.Inc()
 
 		if elim.Exhausted() && (a.cfg.Threshold == 1 || elim.Observations() >= a.cfg.MinObservations) {
 			out.Exhausted = true
@@ -199,6 +203,8 @@ func (a *AttackerP) AttackTargetP(spec TargetSpecP, rks []uint64) TargetOutcomeP
 		out.Nibbles = spec.NibblesForLine(out.Line, a.lineWords)
 	}
 	out.Observations = elim.Observations()
+	a.meter.segmentDone(elim.Observations(), uint64(elim.Candidates().Count()),
+		a.ch.Encryptions()-startEnc, out.Converged, out.Exhausted, false)
 	return out
 }
 

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"grinch/internal/obs/metrics"
+)
+
+// attackMeter bundles the attack core's pre-resolved instruments, one
+// set per attacker, labeled by cipher. Resolution happens once at
+// attacker construction, so the elimination hot loop never touches the
+// registry mutex — each emission is one nil-check plus one atomic add,
+// the same cost model as the nil tracer (BenchmarkAttackNilMetrics
+// pins it). The zero value (nil Config.Metrics) is fully inert.
+type attackMeter struct {
+	observations *metrics.Counter
+	encryptions  *metrics.Counter
+	retries      *metrics.Counter
+	quarantined  *metrics.Counter
+	restarts     *metrics.Counter
+
+	segConverged  *metrics.Counter
+	segExhausted  *metrics.Counter
+	segInfeasible *metrics.Counter
+	segAborted    *metrics.Counter
+
+	segObs    *metrics.Histogram
+	survivors *metrics.Histogram
+}
+
+// survivorBuckets covers the candidate-set size at elimination end (0
+// = exhausted, 1 = converged, up to the 16 lines of a 1-word table).
+var survivorBuckets = []uint64{0, 1, 2, 4, 8, 16}
+
+// newAttackMeter resolves the attack instrument set for one cipher.
+func newAttackMeter(r *metrics.Registry, cipher string) attackMeter {
+	if r == nil {
+		return attackMeter{}
+	}
+	c := metrics.L("cipher", cipher)
+	seg := func(outcome string) *metrics.Counter {
+		return r.Counter("grinch_attack_segments_total",
+			"Segment eliminations by outcome.", c, metrics.L("outcome", outcome))
+	}
+	return attackMeter{
+		observations: r.Counter("grinch_attack_observations_total",
+			"Probe observations folded into candidate elimination.", c),
+		encryptions: r.Counter("grinch_attack_encryptions_total",
+			"Victim encryptions consumed (the paper's attack-effort metric).", c),
+		retries: r.Counter("grinch_attack_retries_total",
+			"Transient channel failures recovered under the retry policy.", c),
+		quarantined: r.Counter("grinch_attack_quarantined_total",
+			"Degenerate observations discarded before the eliminator.", c),
+		restarts: r.Counter("grinch_attack_restarts_total",
+			"Threshold-relaxing elimination restarts.", c),
+		segConverged:  seg("converged"),
+		segExhausted:  seg("exhausted"),
+		segInfeasible: seg("infeasible"),
+		segAborted:    seg("aborted"),
+		segObs: r.Histogram("grinch_attack_segment_observations",
+			"Observations per segment elimination pass.", metrics.ObservationBuckets, c),
+		survivors: r.Histogram("grinch_attack_segment_survivors",
+			"Candidate lines surviving at elimination end (candidate-set shrinkage).", survivorBuckets, c),
+	}
+}
+
+// segmentDone folds one elimination pass's rollup: its observation
+// count, the surviving candidate-set size, the encryptions it
+// consumed, and the terminal outcome. Per-observation cost is counted
+// live in the elimination loop; this is the per-segment summary.
+func (m attackMeter) segmentDone(observations, survivors, encDelta uint64, converged, exhausted, infeasible bool) {
+	m.encryptions.Add(encDelta)
+	m.segObs.Observe(observations)
+	m.survivors.Observe(survivors)
+	switch {
+	case converged:
+		m.segConverged.Inc()
+	case exhausted:
+		m.segExhausted.Inc()
+	case infeasible:
+		m.segInfeasible.Inc()
+	default:
+		m.segAborted.Inc()
+	}
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text-format v0.0.4 content type for
+// HTTP exposition responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders series in the Prometheus text exposition format
+// v0.0.4. Input series are expected sorted by name (Registry.Snapshot
+// and Sum both sort), so each family's HELP/TYPE header is emitted
+// exactly once. All values are integers, rendered without exponent
+// notation, so the output bytes are deterministic for deterministic
+// snapshots.
+func WriteProm(w io.Writer, series []Series) error {
+	bw := bufio.NewWriter(w)
+	prevName := ""
+	for _, s := range series {
+		if s.Name != prevName {
+			if s.Help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(s.Name)
+				bw.WriteByte(' ')
+				bw.WriteString(escapeHelp(s.Help))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(s.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(s.Kind)
+			bw.WriteByte('\n')
+			prevName = s.Name
+		}
+		switch s.Kind {
+		case KindHistogram:
+			writeHistogram(bw, s)
+		case KindGauge:
+			bw.WriteString(s.Name)
+			writeLabels(bw, s.Labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(s.Gauge, 10))
+			bw.WriteByte('\n')
+		default:
+			bw.WriteString(s.Name)
+			writeLabels(bw, s.Labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(s.Value, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the _bucket/_sum/_count triplet. Prometheus
+// bucket counts are cumulative (each le bucket includes everything
+// below it), unlike the per-bucket counts the registry stores.
+func writeHistogram(bw *bufio.Writer, s Series) {
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		bw.WriteString(s.Name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, s.Labels, strconv.FormatUint(bound, 10))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	if len(s.Counts) > 0 {
+		cum += s.Counts[len(s.Counts)-1]
+	}
+	bw.WriteString(s.Name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, s.Labels, "+Inf")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(cum, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(s.Name)
+	bw.WriteString("_sum")
+	writeLabels(bw, s.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(s.Sum, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(s.Name)
+	bw.WriteString("_count")
+	writeLabels(bw, s.Labels, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(cum, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}; le, when non-empty, is appended as
+// the histogram bucket bound label.
+func writeLabels(bw *bufio.Writer, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+func escapeHelp(v string) string  { return helpEscaper.Replace(v) }

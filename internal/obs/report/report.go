@@ -366,6 +366,94 @@ func WriteFaultTable(w io.Writer, sums []FaultSummary) error {
 	return tw.Flush()
 }
 
+// MetricsSummary rolls one job's trace up into the fleet-metric
+// vocabulary (DESIGN.md §14): the same totals the live registries
+// export as grinch_attack_* / grinch_probe_* series, recovered here
+// from the recorded events so an offline trace and a scraped /metrics
+// endpoint can be cross-checked.
+type MetricsSummary struct {
+	Job int
+	// Encryptions counts encryption_start events (victim work).
+	Encryptions uint64
+	// Probes counts probe_observation events (channel reads).
+	Probes uint64
+	// Observations counts candidate_update events (attack decisions).
+	Observations uint64
+	// Segments counts distinct (cipher, round, segment) eliminations;
+	// Recovered counts those closed by a segment_recovered event.
+	Segments  int
+	Recovered int
+	// Retries, Restarts and Faults mirror the fault-recovery counters.
+	Retries  uint64
+	Restarts uint64
+	Faults   uint64
+}
+
+// FoldMetrics rolls a trace up per job, in ascending job order.
+func FoldMetrics(events []obs.Event) []MetricsSummary {
+	sums := map[int]*MetricsSummary{}
+	segs := map[int]map[SegmentKey]bool{}
+	var jobs []int
+	get := func(job int) *MetricsSummary {
+		s, ok := sums[job]
+		if !ok {
+			s = &MetricsSummary{Job: job}
+			sums[job] = s
+			segs[job] = map[SegmentKey]bool{}
+			jobs = append(jobs, job)
+		}
+		return s
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindEncryptionStart:
+			get(e.Job).Encryptions++
+		case obs.KindProbeObservation:
+			get(e.Job).Probes++
+		case obs.KindCandidateUpdate:
+			s := get(e.Job)
+			s.Observations++
+			k := SegmentKey{Job: e.Job, Cipher: e.Cipher, Round: e.Round, Segment: e.Segment}
+			if !segs[e.Job][k] {
+				segs[e.Job][k] = true
+				s.Segments++
+			}
+		case obs.KindSegmentRecovered:
+			s := get(e.Job)
+			k := SegmentKey{Job: e.Job, Cipher: e.Cipher, Round: e.Round, Segment: e.Segment}
+			if !segs[e.Job][k] {
+				segs[e.Job][k] = true
+				s.Segments++
+			}
+			s.Recovered++
+		case obs.KindRetry:
+			get(e.Job).Retries++
+		case obs.KindTargetRestarted:
+			get(e.Job).Restarts++
+		case obs.KindFaultInjected:
+			get(e.Job).Faults++
+		}
+	}
+	sort.Ints(jobs)
+	out := make([]MetricsSummary, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, *sums[j])
+	}
+	return out
+}
+
+// WriteMetricsTable renders the per-job metric rollup.
+func WriteMetricsTable(w io.Writer, sums []MetricsSummary) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "JOB\tENC\tPROBES\tOBS\tSEGMENTS\tRECOVERED\tRETRIES\tRESTARTS\tFAULTS")
+	for _, s := range sums {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			s.Job, s.Encryptions, s.Probes, s.Observations,
+			s.Segments, s.Recovered, s.Retries, s.Restarts, s.Faults)
+	}
+	return tw.Flush()
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

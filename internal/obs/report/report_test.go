@@ -151,6 +151,51 @@ func TestFoldFaultsAggregatesRecoveryActions(t *testing.T) {
 	}
 }
 
+func TestFoldMetricsRollsUpPerJob(t *testing.T) {
+	events := []obs.Event{
+		{Kind: obs.KindEncryptionStart, Job: 1, Enc: 1},
+		{Kind: obs.KindEncryptionStart, Job: 0, Enc: 1},
+		{Kind: obs.KindEncryptionStart, Job: 0, Enc: 2},
+		{Kind: obs.KindProbeObservation, Job: 0, Enc: 2},
+		{Kind: obs.KindCandidateUpdate, Job: 0, Cipher: "GIFT-64", Round: 1, Segment: 0, Survivors: 4},
+		{Kind: obs.KindCandidateUpdate, Job: 0, Cipher: "GIFT-64", Round: 1, Segment: 0, Survivors: 1},
+		{Kind: obs.KindCandidateUpdate, Job: 0, Cipher: "GIFT-64", Round: 1, Segment: 1, Survivors: 2},
+		{Kind: obs.KindSegmentRecovered, Job: 0, Cipher: "GIFT-64", Round: 1, Segment: 0, Line: 7},
+		{Kind: obs.KindRetry, Job: 1, Attempt: 1},
+		{Kind: obs.KindTargetRestarted, Job: 1, Attempt: 1, Threshold: 0.9},
+		{Kind: obs.KindFaultInjected, Job: 1, Fault: "burst"},
+	}
+	sums := FoldMetrics(events)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	if s := sums[0]; s.Job != 0 || s.Encryptions != 2 || s.Probes != 1 ||
+		s.Observations != 3 || s.Segments != 2 || s.Recovered != 1 {
+		t.Fatalf("job 0 summary %+v", s)
+	}
+	if s := sums[1]; s.Job != 1 || s.Encryptions != 1 || s.Retries != 1 ||
+		s.Restarts != 1 || s.Faults != 1 || s.Segments != 0 {
+		t.Fatalf("job 1 summary %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := WriteMetricsTable(&buf, sums); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SEGMENTS", "RECOVERED", "FAULTS"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("metrics table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsTable(&buf, FoldMetrics(loadFixture(t))); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden", buf.Bytes())
+}
+
 func TestFoldCacheTakesLastSnapshotPerJob(t *testing.T) {
 	events := []obs.Event{
 		{Kind: obs.KindCacheSnapshot, Job: 1, Hits: 1, Misses: 2},

@@ -164,6 +164,9 @@ type FlushReload struct {
 	// Tracer, when set, receives one cache_snapshot event per Reload
 	// with the cache's cumulative activity counters.
 	Tracer obs.Tracer
+	// Meter, when set, counts primitive operations and their cycle
+	// cost (nil disables metering).
+	Meter *Meter
 }
 
 // threshold returns the classification boundary.
@@ -176,7 +179,9 @@ func (fr *FlushReload) threshold() uint64 {
 
 // Flush evicts every table line and returns the cycles spent.
 func (fr *FlushReload) Flush() uint64 {
-	return fr.Cache.FlushRange(fr.Table.Base, uint64(fr.Table.Entries*fr.Table.EntryBytes))
+	cycles := fr.Cache.FlushRange(fr.Table.Base, uint64(fr.Table.Entries*fr.Table.EntryBytes))
+	fr.Meter.op(cycles)
+	return cycles
 }
 
 // Reload touches every table line and returns those that were resident,
@@ -196,6 +201,7 @@ func (fr *FlushReload) Reload() (LineSet, uint64) {
 			set = set.Add(l)
 		}
 	}
+	fr.Meter.observed(cycles)
 	if fr.Tracer != nil {
 		fr.Tracer.Emit(CacheSnapshot(fr.Cache))
 	}
@@ -236,6 +242,9 @@ type PrimeProbe struct {
 	HitThreshold uint64
 	// Tracer, when set, receives one cache_snapshot event per Probe.
 	Tracer obs.Tracer
+	// Meter, when set, counts primitive operations and their cycle
+	// cost (nil disables metering).
+	Meter *Meter
 }
 
 func (pp *PrimeProbe) threshold() uint64 {
@@ -276,6 +285,7 @@ func (pp *PrimeProbe) Prime() uint64 {
 			cycles += pp.Cache.Access(a).Latency
 		}
 	}
+	pp.Meter.op(cycles)
 	return cycles
 }
 
@@ -301,6 +311,7 @@ func (pp *PrimeProbe) Probe() (LineSet, uint64) {
 			set = set.Add(l)
 		}
 	}
+	pp.Meter.observed(cycles)
 	if pp.Tracer != nil {
 		pp.Tracer.Emit(CacheSnapshot(pp.Cache))
 	}

@@ -5,6 +5,7 @@ import (
 	"grinch/internal/cache"
 	"grinch/internal/gift"
 	"grinch/internal/noc"
+	"grinch/internal/obs/metrics"
 	"grinch/internal/probe"
 	"grinch/internal/sim"
 	"grinch/internal/victim"
@@ -21,6 +22,7 @@ type MPSoC struct {
 	cipher   *gift.Cipher64
 	table    probe.TableLayout
 	sessions uint64
+	meter    *probe.Meter
 }
 
 // NewMPSoC builds the platform around a victim key.
@@ -34,6 +36,12 @@ func NewMPSoC(key bitutil.Word128, params Params) *MPSoC {
 
 // Table returns the victim's S-box table layout.
 func (m *MPSoC) Table() probe.TableLayout { return m.table }
+
+// SetMetrics points the per-session Flush+Reload primitive at a metrics
+// registry (nil disables).
+func (m *MPSoC) SetMetrics(r *metrics.Registry) {
+	m.meter = probe.NewMeter(r, PrimitiveFlushReload.String())
+}
 
 // Sessions returns how many victim encryptions the platform has run.
 func (m *MPSoC) Sessions() uint64 { return m.sessions }
@@ -119,7 +127,7 @@ func (m *MPSoC) runSession(pt uint64, probeUntilRound int) Session {
 			tile: m.params.AttackerTile, cchTl: m.params.CacheTile,
 			line: m.params.CacheLineBytes,
 		}
-		fr := &probe.FlushReload{Cache: cch, Table: m.table}
+		fr := &probe.FlushReload{Cache: cch, Table: m.table, Meter: m.meter}
 		flushRemote(ex, fr)
 		first := roundOrStart(vic)
 		for {

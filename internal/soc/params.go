@@ -39,6 +39,14 @@ const (
 	PrimitivePrimeProbe
 )
 
+// String names the primitive as used in metric labels.
+func (p ProbePrimitive) String() string {
+	if p == PrimitivePrimeProbe {
+		return "prime_probe"
+	}
+	return "flush_reload"
+}
+
 // Params configures a platform.
 type Params struct {
 	// ClockMHz is the core (and uncore) clock. The paper evaluates 10,

@@ -5,6 +5,7 @@ import (
 	"grinch/internal/bus"
 	"grinch/internal/cache"
 	"grinch/internal/gift"
+	"grinch/internal/obs/metrics"
 	"grinch/internal/probe"
 	"grinch/internal/rtos"
 	"grinch/internal/sim"
@@ -20,6 +21,7 @@ type SingleSoC struct {
 	cipher   *gift.Cipher64
 	table    probe.TableLayout
 	sessions uint64
+	meter    *probe.Meter
 }
 
 // NewSingleSoC builds the platform around a victim key.
@@ -33,6 +35,13 @@ func NewSingleSoC(key bitutil.Word128, params Params) *SingleSoC {
 
 // Table returns the victim's S-box table layout.
 func (s *SingleSoC) Table() probe.TableLayout { return s.table }
+
+// SetMetrics points the per-session probing primitives at a metrics
+// registry (nil disables). The meter survives across sessions even
+// though each session builds a throwaway prober over a fresh cache.
+func (s *SingleSoC) SetMetrics(r *metrics.Registry) {
+	s.meter = probe.NewMeter(r, s.params.Primitive.String())
+}
 
 // Sessions returns how many victim encryptions the platform has run.
 func (s *SingleSoC) Sessions() uint64 { return s.sessions }
@@ -198,9 +207,10 @@ func (s *SingleSoC) newProber(cch *cache.Cache) prober {
 			Cache:        cch,
 			Table:        s.table,
 			EvictionBase: s.params.EvictionBase,
+			Meter:        s.meter,
 		}}
 	}
-	return frProber{fr: &probe.FlushReload{Cache: cch, Table: s.table}}
+	return frProber{fr: &probe.FlushReload{Cache: cch, Table: s.table, Meter: s.meter}}
 }
 
 // prepareCharged runs Prepare, charging cache and bus time.

@@ -32,19 +32,66 @@ echo "== single-process reference run"
   -out "$WORK/ref.jsonl" -csv "$WORK/ref.csv" table1 >/dev/null
 
 echo "== coordinator + 2 workers on $ADDR"
+# No -exit-when-done: the coordinator stays up after the merge so the
+# /metrics scrape below can't race its shutdown; it is TERMed (graceful
+# exit 0) once the assertions pass.
 "$WORK/bin/campaignd" -addr "$ADDR" -data "$WORK/data" "${SPEC_ARGS[@]}" \
-  -out "$WORK/merged.jsonl" -csv "$WORK/merged.csv" -exit-when-done table1 &
+  -out "$WORK/merged.jsonl" -csv "$WORK/merged.csv" table1 &
 SERVER_PID=$!
 PIDS+=("$SERVER_PID")
 
+WORKER_PIDS=()
 for i in 1 2; do
   "$WORK/bin/campaignw" -server "http://$ADDR" -id "ci-w$i" -drain &
+  WORKER_PIDS+=("$!")
   PIDS+=("$!")
 done
 
-# The coordinator exits on its own once the campaign merges
-# (-exit-when-done); workers connect-retry until it is up and drain out
-# when it reports done.
+# Scrape GET /metrics while the fleet is live. The reference run
+# already fixed the expected row count, so we poll until the
+# coordinator's job counter reconciles with it AND the campaign has
+# merged — the counter derives from the same deduplicated result
+# tables the merge reads, so exact equality is the contract, not an
+# approximation.
+echo "== scraping /metrics while the run is live"
+EXPECTED_ROWS="$(wc -l <"$WORK/ref.jsonl")"
+BODY=""
+RECONCILED=""
+for _ in $(seq 1 600); do
+  if BODY="$(curl -fs "http://$ADDR/metrics" 2>/dev/null)"; then
+    DONE="$(printf '%s\n' "$BODY" | awk '$1 ~ /^campaignd_jobs_done_total([{]|$)/ {s+=$NF} END{printf "%d", s+0}')"
+    if [ "$DONE" -eq "$EXPECTED_ROWS" ] &&
+       printf '%s\n' "$BODY" | grep -q '^campaignd_campaigns{state="merged"} 1$'; then
+      RECONCILED=1
+      break
+    fi
+  fi
+  sleep 0.1
+done
+if [ -z "$RECONCILED" ]; then
+  echo "FAIL: campaignd_jobs_done_total never reconciled to $EXPECTED_ROWS merged jobs" >&2
+  exit 1
+fi
+for series in campaignd_jobs_done_total campaignd_results_ingested_total \
+              campaignd_shard_job_ms campaignd_workers_seen \
+              campaignw_jobs_total campaignw_batches_total; do
+  if ! printf '%s\n' "$BODY" | grep -q "^${series}"; then
+    echo "FAIL: /metrics exposition is missing series ${series}" >&2
+    exit 1
+  fi
+done
+echo "OK: /metrics reconciles ($EXPECTED_ROWS jobs) and serves the fleet series"
+
+# Drain-mode workers exit on their own once the coordinator reports
+# every campaign merged.
+for pid in "${WORKER_PIDS[@]}"; do
+  if ! wait "$pid"; then
+    echo "FAIL: campaignw exited non-zero" >&2
+    exit 1
+  fi
+done
+
+kill -TERM "$SERVER_PID"
 if ! wait "$SERVER_PID"; then
   echo "FAIL: campaignd exited non-zero" >&2
   exit 1
