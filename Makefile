@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-quant baseline build test race bench bench-json quick
+.PHONY: check vet lint lint-quant baseline build test race bench bench-json bench-guard quick
 
-check: vet lint lint-quant build race
+check: vet lint lint-quant build race bench-guard
 
 vet:
 	$(GO) vet ./...
@@ -44,11 +44,20 @@ bench:
 # Machine-readable benchmark baseline: a fixed small benchmark set
 # (attack hot path + campaign orchestration) parsed into
 # BENCH_baseline.json via cmd/benchjson. Values are machine-dependent;
-# the committed file records the reference machine's numbers.
+# the committed file records the reference machine's numbers. Override
+# BENCH_OUT to write elsewhere (the regression guard measures into a
+# scratch file instead of clobbering the baseline).
+BENCH_OUT ?= BENCH_baseline.json
 bench-json:
 	$(GO) test -bench 'BenchmarkAttackNilTracer$$|BenchmarkAttackNilMetrics$$|BenchmarkAttackMetrics$$|BenchmarkTable1$$|BenchmarkTable1Campaign$$' \
 		-benchtime 3x -run XXX . ./internal/experiments/ | \
-		$(GO) run ./cmd/benchjson -o BENCH_baseline.json
+		$(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# Perf-regression gate: re-measure the benchmark set and fail on any
+# benchmark more than BENCH_TOLERANCE_PCT (default 25) percent slower
+# than the committed BENCH_baseline.json.
+bench-guard:
+	scripts/ci_bench_guard.sh
 
 # Fast smoke of the full paper reproduction.
 quick:

@@ -154,6 +154,15 @@ func DefaultDeterministicPkgs() []string {
 		"internal/soc",
 		"internal/noc",
 		"internal/rtos",
+		// The batched attack pipeline (DESIGN.md §15) promises scalar/
+		// batch byte-identity, which makes the whole crafting-to-
+		// elimination stack a determinism surface, not just the
+		// campaign layer above it.
+		"internal/core",
+		"internal/gift",
+		"internal/bitutil",
+		"internal/probe",
+		"internal/rng",
 		"internal/oracle",
 		"internal/faults",
 		"internal/campaign",

@@ -255,3 +255,104 @@ func TestXor(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// naiveTranspose64 is the bit-by-bit reference for Transpose64.
+func naiveTranspose64(a *[64]uint64) [64]uint64 {
+	var out [64]uint64
+	for i := uint(0); i < 64; i++ {
+		for j := uint(0); j < 64; j++ {
+			out[i] |= Bit(a[j], i) << j
+		}
+	}
+	return out
+}
+
+func TestTranspose64AgainstNaive(t *testing.T) {
+	var a [64]uint64
+	// A deterministic full-entropy fill (SplitMix64 constants) plus a few
+	// structured patterns.
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range a {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		a[i] = x
+	}
+	want := naiveTranspose64(&a)
+	got := a
+	Transpose64(&got)
+	if got != want {
+		t.Fatal("Transpose64 disagrees with the naive transpose")
+	}
+}
+
+func TestTranspose64Structured(t *testing.T) {
+	cases := [][64]uint64{
+		{},            // all zero
+		{0: 1},        // single bit at (0,0)
+		{63: 1 << 63}, // single bit at (63,63)
+		{5: 1 << 17},  // single off-diagonal bit
+	}
+	for _, a := range cases {
+		want := naiveTranspose64(&a)
+		got := a
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("Transpose64 disagrees with naive transpose on %v", a)
+		}
+	}
+}
+
+func TestTranspose64Involution(t *testing.T) {
+	var a [64]uint64
+	for i := range a {
+		a[i] = uint64(i) * 0xbf58476d1ce4e5b9
+	}
+	b := a
+	Transpose64(&b)
+	Transpose64(&b)
+	if a != b {
+		t.Fatal("Transpose64 applied twice did not restore the input")
+	}
+}
+
+func TestCompilePerm64MatchesTableWalk(t *testing.T) {
+	// The GIFT-64 permutation's closed form, plus the identity and a
+	// full reversal, exercise one-class, many-class and wraparound
+	// rotation groupings.
+	var gift64, ident, rev [64]uint8
+	for i := 0; i < 64; i++ {
+		gift64[i] = uint8(4*(i/16) + 16*((3*((i%16)/4)+i%4)%4) + i%4)
+		ident[i] = uint8(i)
+		rev[i] = uint8(63 - i)
+	}
+	for name, perm := range map[string]*[64]uint8{
+		"gift64": &gift64, "identity": &ident, "reversal": &rev,
+	} {
+		groups := CompilePerm64(perm)
+		x := uint64(0x0123456789abcdef)
+		for i := 0; i < 200; i++ {
+			if got, want := ApplyPerm64(x, groups), PermuteBits64(x, perm); got != want {
+				t.Fatalf("%s: ApplyPerm64(%#x) = %#x, want %#x", name, x, got, want)
+			}
+			x = x*0x9e3779b97f4a7c15 + 1
+		}
+	}
+}
+
+func TestCompilePerm64ClassMasksPartition(t *testing.T) {
+	var perm [64]uint8
+	for i := 0; i < 64; i++ {
+		perm[i] = uint8(4*(i/16) + 16*((3*((i%16)/4)+i%4)%4) + i%4)
+	}
+	var union uint64
+	for _, g := range CompilePerm64(&perm) {
+		if union&g.Mask != 0 {
+			t.Fatalf("rotation class masks overlap at %#x", union&g.Mask)
+		}
+		union |= g.Mask
+	}
+	if union != ^uint64(0) {
+		t.Fatalf("rotation class masks cover %#x, want all 64 bits", union)
+	}
+}

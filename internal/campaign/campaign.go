@@ -110,6 +110,11 @@ type Job struct {
 	Retry RetrySpec
 	// DeadlinePS bounds the job's simulated clock; 0 means unbounded.
 	DeadlinePS uint64
+	// ScalarPath forces the attack core's scalar reference pipeline
+	// (core.BatchOff) instead of the batched one. The two produce
+	// byte-identical results; the flag exists for differential testing
+	// and for bisecting suspected batch-path regressions in the field.
+	ScalarPath bool
 }
 
 // Measurement is the experiment-specific payload of a result. Fields

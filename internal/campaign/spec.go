@@ -40,6 +40,11 @@ type Spec struct {
 	// DeadlinePS bounds each job's simulated clock (channel virtual
 	// time plus retry backoff) in picoseconds; 0 means no deadline.
 	DeadlinePS uint64 `json:"deadline_ps,omitempty"`
+	// ScalarPath runs every job on the attack core's scalar reference
+	// pipeline instead of the batched one (see Job.ScalarPath). Omitted
+	// from serialized specs when false, so existing journals keep their
+	// fingerprints.
+	ScalarPath bool `json:"scalar_path,omitempty"`
 }
 
 // RetrySpec is the job-level retry policy: how many times a transient
@@ -162,6 +167,7 @@ func (s Spec) Jobs() []Job {
 									FaultPlan:  plan,
 									Retry:      retry,
 									DeadlinePS: s.DeadlinePS,
+									ScalarPath: s.ScalarPath,
 								})
 								idx++
 							}

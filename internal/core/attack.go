@@ -81,6 +81,12 @@ type Config struct {
 	// 1 also raises the observation floor to relaxedMinObservations so
 	// ratio decisions have statistical backing.
 	RestartRelax float64
+	// Batch selects the batched attack pipeline (BatchAuto, the
+	// default, engages it whenever the channel implements
+	// probe.BatchChannel; BatchOff forces the scalar reference path).
+	// The two paths produce byte-identical observations, traces and
+	// metrics — batching is purely a throughput optimization.
+	Batch BatchMode
 	// SimDeadlinePS aborts the attack once its simulated clock — the
 	// accrued retry backoff plus the channel's own virtual time when
 	// the channel exposes SimPS() uint64 — reaches this many
@@ -213,6 +219,10 @@ type Attacker struct {
 	cfg       Config
 	rng       *rng.Source
 	lineWords int
+	// batchCh is the channel's batch entry point, non-nil only when
+	// Config.Batch allows it and the channel proved batch support at
+	// construction; eliminations then run the batched pipeline.
+	batchCh probe.BatchChannel
 	// meter holds the pre-resolved metrics instruments (zero when
 	// Config.Metrics is nil).
 	meter attackMeter
@@ -235,13 +245,17 @@ func NewAttacker(ch probe.Channel, cfg Config) (*Attacker, error) {
 		return nil, fmt.Errorf("core: channel exposes %d table lines; the attack needs 2..16 dividing 16", lines)
 	}
 	cfg = cfg.withDefaults()
-	return &Attacker{
+	a := &Attacker{
 		ch:        ch,
 		cfg:       cfg,
 		rng:       rng.New(cfg.Seed),
 		lineWords: 16 / lines,
 		meter:     newAttackMeter(cfg.Metrics, "GIFT-64"),
-	}, nil
+	}
+	if cfg.Batch == BatchAuto {
+		a.batchCh, _ = supportsBatch(ch)
+	}
+	return a, nil
 }
 
 // LineWords returns how many table entries share a cache line on this
@@ -462,7 +476,8 @@ func (a *Attacker) attackTarget(spec TargetSpec, rks []gift.RoundKey64, confirm 
 // every observation by chance and fake a convergence under a wrong
 // crafting hypothesis.
 func (a *Attacker) eliminateTarget(spec TargetSpec, rks []gift.RoundKey64, confirm bool, threshold float64, minObs uint64) TargetOutcome {
-	elim := NewEliminator(a.ch.Lines(), threshold)
+	var elim Eliminator
+	elim.Reset(a.ch.Lines(), threshold)
 	feasible := spec.FeasibleLines(a.lineWords)
 	full := probe.FullSet(a.ch.Lines())
 	startEnc := a.ch.Encryptions()
@@ -470,17 +485,46 @@ func (a *Attacker) eliminateTarget(spec TargetSpec, rks []gift.RoundKey64, confi
 	var confirmLeft uint64
 	confirming := false
 
+	var bs *batchState
+	if a.batchCh != nil {
+		bs = batchStatePool.Get().(*batchState)
+		bs.reset()
+		defer func() {
+			bs.settle(a, &spec)
+			batchStatePool.Put(bs)
+		}()
+	}
+
+	// encUpper tracks an upper bound on the channel's encryption counter
+	// without the per-observation interface call behind overBudget():
+	// each completed iteration consumed exactly one committed encryption
+	// plus at most `retries` retried ones (channels that fail before
+	// encrypting make this an overestimate, never an underestimate). The
+	// authoritative counter is only consulted once the bound reaches the
+	// budget, so the stopping point is identical to checking it always.
+	encUpper := startEnc
+	budget := a.cfg.TotalBudget
+
 	// tries bounds loop iterations rather than eliminator observations:
 	// quarantined observations consume budget (the victim encrypted)
 	// without advancing the eliminator, and must not loop forever.
-	for tries := uint64(0); tries < a.cfg.MaxObservationsPerTarget && !a.overBudget(); tries++ {
+	for tries := uint64(0); tries < a.cfg.MaxObservationsPerTarget &&
+		(budget == 0 || encUpper < budget || !a.overBudget()); tries++ {
 		if a.overDeadline() {
 			out.ChannelErr = ErrSimDeadline
 			break
 		}
-		pt := spec.CraftPlaintext(a.rng, rks)
-		set, mask, retries, err := a.collectRetry(pt, spec)
+		var set, mask probe.LineSet
+		var retries uint64
+		var err error
+		if bs != nil {
+			set, mask, retries, err = a.batchNext(bs, &spec, rks)
+		} else {
+			pt := spec.CraftPlaintext(a.rng, rks)
+			set, mask, retries, err = a.collectRetry(pt, spec)
+		}
 		out.Retries += retries
+		encUpper += 1 + retries
 		if err != nil {
 			out.ChannelErr = err
 			break
@@ -490,9 +534,8 @@ func (a *Attacker) eliminateTarget(spec TargetSpec, rks []gift.RoundKey64, confi
 			continue
 		}
 		elim.ObserveMasked(set, mask)
-		a.meter.observations.Inc()
 		if a.cfg.Tracer != nil {
-			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-64", spec.Round, spec.Segment, set, elim)
+			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-64", spec.Round, spec.Segment, set, &elim)
 		}
 
 		// Under strict intersection an empty candidate set is
@@ -518,7 +561,7 @@ func (a *Attacker) eliminateTarget(spec TargetSpec, rks []gift.RoundKey64, confi
 		}
 		if !confirming {
 			confirming = true
-			confirmLeft = a.confirmSpan(elim, line)
+			confirmLeft = a.confirmSpan(&elim, line)
 		}
 		if confirmLeft == 0 {
 			out.Line = line
@@ -529,12 +572,15 @@ func (a *Attacker) eliminateTarget(spec TargetSpec, rks []gift.RoundKey64, confi
 	}
 	if out.Converged {
 		out.Pairs = spec.PairsForLine(out.Line, a.lineWords)
-		out.Confidence = confidence(elim, out.Line, a.ch.Lines())
+		out.Confidence = confidence(&elim, out.Line, a.ch.Lines())
 		if a.cfg.Tracer != nil {
 			traceRecovered(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-64", spec.Round, spec.Segment, out.Line, elim.Observations())
 		}
 	}
 	out.Observations = elim.Observations()
+	// The observation counter is flushed per target like the retry and
+	// quarantine counters: one atomic add instead of one per probe.
+	a.meter.observations.Add(elim.Observations())
 	a.meter.retries.Add(out.Retries)
 	a.meter.quarantined.Add(out.Quarantined)
 	a.meter.segmentDone(elim.Observations(), uint64(elim.Candidates().Count()),

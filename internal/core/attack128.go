@@ -177,7 +177,8 @@ func (a *Attacker128) attackTarget128(spec TargetSpec128, rks []gift.RoundKey128
 
 // eliminateTarget128 mirrors Attacker.eliminateTarget.
 func (a *Attacker128) eliminateTarget128(spec TargetSpec128, rks []gift.RoundKey128, confirm bool, threshold float64, minObs uint64) TargetOutcome128 {
-	elim := NewEliminator(a.ch.Lines(), threshold)
+	var elim Eliminator
+	elim.Reset(a.ch.Lines(), threshold)
 	feasible := spec.FeasibleLines(a.lineWords)
 	full := probe.FullSet(a.ch.Lines())
 	startEnc := a.ch.Encryptions()
@@ -204,7 +205,7 @@ func (a *Attacker128) eliminateTarget128(spec TargetSpec128, rks []gift.RoundKey
 		elim.Observe(set)
 		a.meter.observations.Inc()
 		if a.cfg.Tracer != nil {
-			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-128", spec.Round, spec.Segment, set, elim)
+			traceObservation(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-128", spec.Round, spec.Segment, set, &elim)
 		}
 
 		if elim.Exhausted() && (threshold == 1 || elim.Observations() >= minObs) {
@@ -227,7 +228,7 @@ func (a *Attacker128) eliminateTarget128(spec TargetSpec128, rks []gift.RoundKey
 		}
 		if !confirming {
 			confirming = true
-			confirmLeft = a.confirmSpan128(elim, line)
+			confirmLeft = a.confirmSpan128(&elim, line)
 		}
 		if confirmLeft == 0 {
 			out.Line = line
@@ -238,7 +239,7 @@ func (a *Attacker128) eliminateTarget128(spec TargetSpec128, rks []gift.RoundKey
 	}
 	if out.Converged {
 		out.Pairs = spec.PairsForLine(out.Line, a.lineWords)
-		out.Confidence = confidence(elim, out.Line, a.ch.Lines())
+		out.Confidence = confidence(&elim, out.Line, a.ch.Lines())
 		if a.cfg.Tracer != nil {
 			traceRecovered(a.cfg.Tracer, a.ch.Encryptions(), "GIFT-128", spec.Round, spec.Segment, out.Line, elim.Observations())
 		}

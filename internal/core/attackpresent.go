@@ -180,7 +180,8 @@ type TargetOutcomeP struct {
 
 // AttackTargetP runs crafted elimination for one segment.
 func (a *AttackerP) AttackTargetP(spec TargetSpecP, rks []uint64) TargetOutcomeP {
-	elim := NewEliminator(a.ch.Lines(), a.cfg.Threshold)
+	var elim Eliminator
+	elim.Reset(a.ch.Lines(), a.cfg.Threshold)
 	startEnc := a.ch.Encryptions()
 	out := TargetOutcomeP{Spec: spec, Line: -1}
 

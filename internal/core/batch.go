@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sync"
+
+	"grinch/internal/gift"
+	"grinch/internal/probe"
+	"grinch/internal/rng"
+)
+
+// BatchMode selects between the batched attack pipeline and the scalar
+// reference path.
+type BatchMode int
+
+const (
+	// BatchAuto (the zero value) batches whenever the channel supports
+	// probe.BatchChannel, falling back to the scalar path otherwise.
+	// Results are byte-identical either way — batching only reschedules
+	// when victim traces are computed, never what is observed.
+	BatchAuto BatchMode = iota
+	// BatchOff forces the scalar path; the differential tests run both
+	// modes and require identical output.
+	BatchOff
+)
+
+// Batch sizing. Crafting draws the plaintext rng, so a batch crafted
+// beyond the observations actually consumed must be rewound for the rng
+// stream to stay byte-identical to the scalar path. Snapshots every
+// batchSnapEvery crafts bound the replay to at most batchSnapEvery−1
+// re-crafts on abandon; growing refills (4→8→…→64) keep the waste
+// small on fast-converging targets (a clean channel converges just past
+// the default 4-observation floor, so the opening batch matches it)
+// while long eliminations settle at full 64-wide batches.
+const (
+	batchSnapEvery = 8
+	batchFirstSize = 4
+	batchMaxSize   = 64
+)
+
+// batchState is the in-flight crafted batch of one elimination pass:
+// up to 64 crafted plaintexts, their primed raw line sets, and the rng
+// snapshots needed to rewind uncommitted crafts. Pooled because sweeps
+// run hundreds of thousands of eliminations.
+type batchState struct {
+	pts   [64]uint64
+	raw   [64]probe.LineSet
+	snaps [batchMaxSize / batchSnapEvery]rng.Source
+	dec   gift.Batch64
+	// n is the number of crafted entries, idx the next to commit.
+	n, idx int
+	// nextSize is the adaptive size of the next refill.
+	nextSize int
+	// primed reports whether raw holds channel-primed sets; when the
+	// channel unexpectedly refuses a prime, the crafted plaintexts are
+	// committed through the scalar collect path instead.
+	primed bool
+}
+
+var batchStatePool = sync.Pool{New: func() any { return new(batchState) }}
+
+func (bs *batchState) reset() {
+	bs.n, bs.idx = 0, 0
+	bs.nextSize = batchFirstSize
+}
+
+// refill crafts the next batch and primes it on the channel. Crafting
+// consumes the plaintext rng exactly as the scalar path would, one
+// CraftState per entry, with a snapshot every batchSnapEvery crafts so
+// settle can rewind the tail that is never committed.
+func (bs *batchState) refill(a *Attacker, spec *TargetSpec, rks []gift.RoundKey64) {
+	size := bs.nextSize
+	if bs.nextSize < batchMaxSize {
+		bs.nextSize *= 2
+	}
+	// Never craft past the encryption budget: those observations could
+	// not be committed anyway.
+	if b := a.cfg.TotalBudget; b > 0 {
+		if rem := b - a.ch.Encryptions(); uint64(size) > rem {
+			size = int(rem)
+		}
+	}
+	for i := 0; i < size; i++ {
+		if i%batchSnapEvery == 0 {
+			bs.snaps[i/batchSnapEvery] = a.rng.Snapshot()
+		}
+		bs.pts[i] = spec.CraftState(a.rng)
+	}
+	if spec.Round > 1 {
+		if len(rks) < spec.Round-1 {
+			// Match CraftPlaintext's contract for the scalar path.
+			spec.CraftPlaintext(a.rng, rks) // panics
+		}
+		for i := size; i < batchMaxSize; i++ {
+			bs.pts[i] = 0
+		}
+		gift.PartialDecryptBatch64(&bs.pts, rks, spec.Round-1, &bs.dec)
+	}
+	bs.primed = a.batchCh.PrimeBatch(bs.pts[:size], spec.Round, bs.raw[:size])
+	bs.n, bs.idx = size, 0
+}
+
+// batchNext produces the next observation from the batch pipeline,
+// refilling when the current batch is drained. The commit itself —
+// counter, events, noise, probe mask — happens inside the channel's
+// CollectPrimed with the scalar path's exact side-effect order.
+func (a *Attacker) batchNext(bs *batchState, spec *TargetSpec, rks []gift.RoundKey64) (set, mask probe.LineSet, retries uint64, err error) {
+	if bs.idx == bs.n {
+		bs.refill(a, spec, rks)
+	}
+	i := bs.idx
+	bs.idx++
+	if bs.primed {
+		set, mask = a.batchCh.CollectPrimed(bs.raw[i], spec.Round)
+		return set, mask, 0, nil
+	}
+	return a.collectRetry(bs.pts[i], *spec)
+}
+
+// settle rewinds the plaintext rng over the crafted-but-uncommitted
+// tail of the batch: restore the nearest snapshot at or before the
+// commit cursor and replay the few crafts up to it. After settle the
+// rng state is exactly what the scalar path would have left behind.
+func (bs *batchState) settle(a *Attacker, spec *TargetSpec) {
+	if bs.idx < bs.n {
+		a.rng.Restore(bs.snaps[bs.idx/batchSnapEvery])
+		for i := 0; i < bs.idx%batchSnapEvery; i++ {
+			spec.CraftState(a.rng)
+		}
+	}
+	bs.n, bs.idx = 0, 0
+}
+
+// supportsBatch verifies once, at attacker construction, that the
+// channel's batch path is actually usable (a NewFromTracer oracle
+// implements the interface methods but refuses to prime). The probe
+// prime is speculative by contract: no observable channel state moves.
+func supportsBatch(ch probe.Channel) (probe.BatchChannel, bool) {
+	bc, ok := ch.(probe.BatchChannel)
+	if !ok {
+		return nil, false
+	}
+	var raw [1]probe.LineSet
+	if !bc.PrimeBatch([]uint64{0}, 1, raw[:]) {
+		return nil, false
+	}
+	return bc, true
+}

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"grinch/internal/gift"
 	"grinch/internal/probe"
@@ -60,6 +61,18 @@ type TargetSpec struct {
 	// ConstXor is the round-constant contribution to the observed
 	// index (bit 3 only; bits 0..2 never carry constants in GIFT-64).
 	ConstXor uint8
+
+	// Crafting fast-path metadata, precomputed by buildTarget64 so the
+	// per-plaintext hot loop is free of slice chases and pin-tracking
+	// branches. craftInputs[i] packs Sources[i].Inputs as eight nibbles;
+	// craftSrcShift[i] is 4*Sources[i].Segment; craftUnpinned lists the
+	// shifts 4*seg of the twelve non-source segments in ascending
+	// segment order (the draw order the scalar loop uses). craftFast is
+	// false for hand-built specs, which take the general path.
+	craftFast     bool
+	craftSrcShift [4]uint8
+	craftInputs   [4]uint32
+	craftUnpinned [12]uint8
 }
 
 // sboxBitList returns the S-box inputs whose output has bit j set
@@ -75,11 +88,24 @@ func sboxBitList(j int) []uint8 {
 	return list
 }
 
-// NewTarget64 builds the target specification for round key t (1-based)
-// and segment g of GIFT-64. This is paper Algorithm 1
-// (SET_TARGET_BITS): the state positions that AddRoundKey XORs with the
-// target key bits are inverse-permuted to locate the S-box output bits
-// that must be pinned.
+// target64Specs caches every (round, segment) specification: the specs
+// are pure functions of the cipher's constants, and campaign sweeps
+// request them hundreds of thousands of times. The cached Sources'
+// Inputs slices are shared — TargetSpec consumers only read them.
+var target64Specs = buildTarget64Specs()
+
+func buildTarget64Specs() [gift.Rounds64][gift.Segments64]TargetSpec {
+	var specs [gift.Rounds64][gift.Segments64]TargetSpec
+	for t := 1; t <= gift.Rounds64; t++ {
+		for g := 0; g < gift.Segments64; g++ {
+			specs[t-1][g] = buildTarget64(t, g)
+		}
+	}
+	return specs
+}
+
+// NewTarget64 returns the target specification for round key t
+// (1-based) and segment g of GIFT-64.
 func NewTarget64(t, g int) TargetSpec {
 	if t < 1 || t > gift.Rounds64 {
 		panic(fmt.Sprintf("core: round %d out of range", t))
@@ -87,6 +113,14 @@ func NewTarget64(t, g int) TargetSpec {
 	if g < 0 || g >= gift.Segments64 {
 		panic(fmt.Sprintf("core: segment %d out of range", g))
 	}
+	return target64Specs[t-1][g]
+}
+
+// buildTarget64 constructs one specification. This is paper Algorithm 1
+// (SET_TARGET_BITS): the state positions that AddRoundKey XORs with the
+// target key bits are inverse-permuted to locate the S-box output bits
+// that must be pinned.
+func buildTarget64(t, g int) TargetSpec {
 	spec := TargetSpec{Round: t, Segment: g}
 	for j := 0; j < 4; j++ {
 		// State bit 4g+j of the round-(t+1) S-box input comes from
@@ -108,7 +142,39 @@ func NewTarget64(t, g int) TargetSpec {
 	case g < 6:
 		spec.ConstXor = (c >> g & 1) << 3
 	}
+	spec.compileCraft()
 	return spec
+}
+
+// compileCraft fills the crafting fast-path metadata. It only succeeds
+// when every source list has exactly 8 entries (every balanced S-box
+// output bit does) and the four sources pin four distinct segments
+// (GIFT's permutation guarantees it); otherwise craftFast stays false
+// and CraftState falls back to the general loop.
+func (t *TargetSpec) compileCraft() {
+	var pinned uint16
+	for i := range t.Sources {
+		src := &t.Sources[i]
+		if len(src.Inputs) != 8 {
+			return
+		}
+		for k, x := range src.Inputs {
+			t.craftInputs[i] |= uint32(x) << (4 * k)
+		}
+		t.craftSrcShift[i] = uint8(4 * src.Segment)
+		pinned |= 1 << src.Segment
+	}
+	if bits.OnesCount16(pinned) != 4 {
+		return
+	}
+	n := 0
+	for seg := 0; seg < gift.Segments64; seg++ {
+		if pinned&(1<<seg) == 0 {
+			t.craftUnpinned[n] = uint8(4 * seg)
+			n++
+		}
+	}
+	t.craftFast = true
 }
 
 // pinnedValue is the value the four pinned bits take before AddRoundKey
@@ -161,10 +227,48 @@ func (t TargetSpec) PairsForLine(line, lineWords int) []uint8 {
 // CraftState builds the round-Round S-box input state (paper Algorithm
 // 2, GENERATE): each source segment gets a value drawn from its valid
 // list so the pinned output bit is 1; every other segment is random.
-func (t TargetSpec) CraftState(r *rng.Source) uint64 {
+func (t *TargetSpec) CraftState(r *rng.Source) uint64 {
+	if !t.craftFast {
+		return t.craftStateGeneral(r)
+	}
+	// Fast path over the compiled metadata: every source draw is
+	// Intn(8) — and IntnPow2(3) is the same draw, same value, small
+	// enough to inline — indexing a packed nibble list instead of a
+	// slice, and the unpinned segments stream straight off the
+	// precomputed shift list with no pin bookkeeping. With every draw
+	// inlined and no call left in the body, the local generator copy
+	// stays register-resident across all 16 draws of the craft.
+	st := *r
+	var state uint64
+	for i := 0; i < 4; i++ {
+		x := t.craftInputs[i] >> (4 * uint(st.IntnPow2(3))) & 0xf
+		state |= uint64(x) << t.craftSrcShift[i]
+	}
+	u := &t.craftUnpinned
+	state |= st.Nibble() << u[0]
+	state |= st.Nibble() << u[1]
+	state |= st.Nibble() << u[2]
+	state |= st.Nibble() << u[3]
+	state |= st.Nibble() << u[4]
+	state |= st.Nibble() << u[5]
+	state |= st.Nibble() << u[6]
+	state |= st.Nibble() << u[7]
+	state |= st.Nibble() << u[8]
+	state |= st.Nibble() << u[9]
+	state |= st.Nibble() << u[10]
+	state |= st.Nibble() << u[11]
+	*r = st
+	return state
+}
+
+// craftStateGeneral handles source lists of any length; specs built by
+// NewTarget64 never take it (the GIFT S-box is balanced), but the
+// method's contract does not require 8-entry lists.
+func (t *TargetSpec) craftStateGeneral(r *rng.Source) uint64 {
 	var state uint64
 	var pinned uint16
-	for _, src := range t.Sources {
+	for i := range t.Sources {
+		src := &t.Sources[i]
 		x := src.Inputs[r.Intn(len(src.Inputs))]
 		state |= uint64(x) << (4 * src.Segment)
 		pinned |= 1 << src.Segment

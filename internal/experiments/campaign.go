@@ -173,6 +173,9 @@ func jobAttackConfig(job campaign.Job, seed uint64, tracer obs.Tracer) core.Conf
 		},
 		SimDeadlinePS: job.DeadlinePS,
 	}
+	if job.ScalarPath {
+		cfg.Batch = core.BatchOff
+	}
 	if !job.FaultPlan.Empty() {
 		cfg.Quarantine = true
 		cfg.MaxRestarts = 2

@@ -1,0 +1,209 @@
+package gift
+
+import "grinch/internal/bitutil"
+
+// This file contains the block-parallel bitsliced GIFT-64 kernel behind
+// the batched attack pipeline. Where bitsliced.go slices one state into
+// its four bit planes (within-block bitslicing, 16-bit planes), the
+// Batch64 kernel slices 64 whole states across each other: word b of a
+// Batch64 carries state bit b of all 64 blocks, so one boolean
+// instruction advances all 64 encryptions by one gate. The S-box layer
+// is the same published circuit as sboxPlanes, the permutation is a
+// free plane reindexing, and AddRoundKey broadcasts each key-mask bit
+// branchlessly — like the within-block variant, no secret-indexed
+// access or secret branch exists anywhere in the kernel, which the
+// grinchvet leakage pass verifies.
+
+// Batch64 holds 64 GIFT-64 states bitsliced across blocks: bit j of
+// word b is state bit b of block j. Load/Store pivot between this
+// layout and the natural one-word-per-block layout via the 64×64 bit
+// transpose.
+type Batch64 [64]uint64
+
+// Load fills the batch from 64 states in one-word-per-block layout.
+//
+//grinch:secret blocks
+func (b *Batch64) Load(blocks *[64]uint64) {
+	*b = Batch64(*blocks)
+	bitutil.Transpose64((*[64]uint64)(b))
+}
+
+// Store writes the batch back out in one-word-per-block layout.
+//
+//grinch:secret
+func (b *Batch64) Store(blocks *[64]uint64) {
+	*blocks = [64]uint64(*b)
+	bitutil.Transpose64(blocks)
+}
+
+// SubCells applies the GIFT S-box to every segment of every block: the
+// published circuit of sboxPlanes, evaluated once per segment at
+// 64-lane width. Planes 4i..4i+3 are the four index bits of segment i
+// across all blocks.
+//
+//grinch:secret
+func (b *Batch64) SubCells() {
+	for i := 0; i < 64; i += 4 {
+		s0, s1, s2, s3 := b[i], b[i+1], b[i+2], b[i+3]
+		s1 ^= s0 & s2
+		s0 ^= s1 & s3
+		s2 ^= s0 | s1
+		s3 ^= s2
+		s1 ^= s3
+		s3 = ^s3
+		s2 ^= s0 & s1
+		b[i], b[i+1], b[i+2], b[i+3] = s3, s1, s2, s0 // swap(S0, S3)
+	}
+}
+
+// InvSubCells applies the inverse S-box to every segment of every
+// block (the circuit of invSBoxPlanes at 64-lane width).
+//
+//grinch:secret
+func (b *Batch64) InvSubCells() {
+	for i := 0; i < 64; i += 4 {
+		s3, s1, s2, s0 := b[i], b[i+1], b[i+2], b[i+3] // undo swap(S0, S3)
+		s2 ^= s0 & s1
+		s3 = ^s3
+		s1 ^= s3
+		s3 ^= s2
+		s2 ^= s0 | s1
+		s0 ^= s1 & s3
+		s1 ^= s0 & s2
+		b[i], b[i+1], b[i+2], b[i+3] = s0, s1, s2, s3
+	}
+}
+
+// PermBits applies the GIFT-64 bit permutation: in the bitsliced layout
+// a bit permutation is a plane reindexing, free of per-bit extraction.
+func (b *Batch64) PermBits() {
+	tmp := *b
+	for i, p := range Perm64 {
+		b[p] = tmp[i]
+	}
+}
+
+// InvPermBits applies the inverse bit permutation.
+func (b *Batch64) InvPermBits() {
+	tmp := *b
+	for i, p := range InvPerm64 {
+		b[p] = tmp[i]
+	}
+}
+
+// AddRoundKey XORs the round key, fixed bit and round constant into
+// every block: each bit of the spread key mask is broadcast to a full
+// 64-lane word arithmetically (0 → 0, 1 → all ones), never branched on.
+//
+//grinch:secret rk
+func (b *Batch64) AddRoundKey(rk RoundKey64) {
+	b.addRoundKeyMask(spreadKeyBits64(rk))
+}
+
+// addRoundKeyMask XORs an already-spread key mask into every block;
+// Cipher64 callers pass the cached per-round expansion. The loop runs
+// a fixed 64 broadcasts regardless of the mask's weight — iterating
+// only set bits would be faster but would make the trip count (and so
+// the timing) a function of the secret key.
+//
+//grinch:secret m
+func (b *Batch64) addRoundKeyMask(m uint64) {
+	for i := 0; i < 64; i += 4 {
+		b[i] ^= -(m >> uint(i) & 1)
+		b[i+1] ^= -(m >> uint(i+1) & 1)
+		b[i+2] ^= -(m >> uint(i+2) & 1)
+		b[i+3] ^= -(m >> uint(i+3) & 1)
+	}
+}
+
+// Round applies one full GIFT-64 round to all 64 blocks.
+//
+//grinch:secret rk
+func (b *Batch64) Round(rk RoundKey64) {
+	b.SubCells()
+	b.PermBits()
+	b.AddRoundKey(rk)
+}
+
+// subCellsPermKeyInto applies one full round — S-box circuit, bit
+// permutation, spread key mask — in a single pass into out: each
+// segment's four output planes are written straight to their permuted
+// positions with the key bit folded in, instead of three separate
+// sweeps over the 64 words. The permutation indices come from the
+// public Perm64 table and the key broadcast stays arithmetic, so the
+// fused pass keeps the kernel's no-secret-index, no-secret-branch,
+// fixed-trip-count guarantees. out must not alias b.
+//
+//grinch:secret m
+func (b *Batch64) subCellsPermKeyInto(out *Batch64, m uint64) {
+	for i := 0; i < 64; i += 4 {
+		s0, s1, s2, s3 := b[i], b[i+1], b[i+2], b[i+3]
+		s1 ^= s0 & s2
+		s0 ^= s1 & s3
+		s2 ^= s0 | s1
+		s3 ^= s2
+		s1 ^= s3
+		s3 = ^s3
+		s2 ^= s0 & s1
+		p0, p1, p2, p3 := Perm64[i], Perm64[i+1], Perm64[i+2], Perm64[i+3]
+		out[p0] = s3 ^ -(m >> p0 & 1) // swap(S0, S3)
+		out[p1] = s1 ^ -(m >> p1 & 1)
+		out[p2] = s2 ^ -(m >> p2 & 1)
+		out[p3] = s0 ^ -(m >> p3 & 1)
+	}
+}
+
+// InvRound inverts one GIFT-64 round for all 64 blocks.
+//
+//grinch:secret rk
+func (b *Batch64) InvRound(rk RoundKey64) {
+	b.AddRoundKey(rk)
+	b.InvPermBits()
+	b.InvSubCells()
+}
+
+// TraceBatch runs rounds 1..last of 64 encryptions bitsliced across
+// blocks, calling visit once per round r in [first, last] with the
+// bitsliced round-r S-box input state — the batched counterpart of
+// SBoxInputsN for a whole lane group. st and st2 are caller-supplied
+// scratch (their prior contents are overwritten; the fused round pass
+// ping-pongs between them) so the hot path allocates nothing. The
+// visited states are bit-identical to the corresponding SBoxInputsN
+// elements; a window with first > last runs no rounds past last and
+// visits nothing, exactly like the scalar slice indexing.
+//
+//grinch:secret pts
+func (c *Cipher64) TraceBatch(pts *[64]uint64, first, last int, st, st2 *Batch64, visit func(round int, st *Batch64)) {
+	if last > Rounds64 {
+		last = Rounds64
+	}
+	cur, next := st, st2
+	cur.Load(pts)
+	for r := 1; r <= last; r++ {
+		if r >= first {
+			visit(r, cur)
+		}
+		cur.subCellsPermKeyInto(next, c.rkm[r-1])
+		cur, next = next, cur
+	}
+}
+
+// PartialDecryptBatch64 inverts rounds n..1 for 64 states in place —
+// the batched counterpart of PartialDecrypt64, used to turn 64 crafted
+// round-n+1 input states into the plaintexts that produce them. st is
+// caller-supplied scratch.
+//
+//grinch:secret rks
+func PartialDecryptBatch64(states *[64]uint64, rks []RoundKey64, n int, st *Batch64) {
+	if n > len(rks) {
+		panic("gift: batch partial decrypt needs more round keys than supplied")
+	}
+	if n <= 0 {
+		return
+	}
+	st.Load(states)
+	for r := n - 1; r >= 0; r-- {
+		st.InvRound(rks[r])
+	}
+	st.Store(states)
+}

@@ -20,6 +20,10 @@ type RoundKey64 struct {
 // crypto/cipher.Block (8-byte blocks).
 type Cipher64 struct {
 	rk [Rounds64]RoundKey64 //grinch:secret
+	// rkm caches spreadKeyBits64 of each round key: the expansion is a
+	// pure function of the fixed schedule, and the trace hot paths
+	// apply it once per round per encryption.
+	rkm [Rounds64]uint64 //grinch:secret
 }
 
 // NewCipher64 expands a 128-bit key (big-endian byte order, as in the
@@ -38,6 +42,9 @@ func NewCipher64FromWord(key bitutil.Word128) *Cipher64 {
 	c := &Cipher64{}
 	ks := ExpandKey64(key)
 	copy(c.rk[:], ks)
+	for r := 0; r < Rounds64; r++ {
+		c.rkm[r] = spreadKeyBits64(c.rk[r])
+	}
 	return c
 }
 
@@ -62,7 +69,7 @@ func (c *Cipher64) Decrypt(dst, src []byte) {
 func (c *Cipher64) EncryptBlock(pt uint64) uint64 {
 	s := pt
 	for r := 0; r < Rounds64; r++ {
-		s = Round64(s, c.rk[r])
+		s = PermBits64(SubCells64(s)) ^ c.rkm[r]
 	}
 	return s
 }
@@ -142,14 +149,22 @@ func InvSubCells64(s uint64) uint64 {
 	return out
 }
 
+// perm64Groups and invPerm64Groups are the permutation tables compiled
+// into rotation classes (25 each for GIFT-64) — same output as the
+// per-bit table walk at roughly a third of the cost, still branch-free.
+var (
+	perm64Groups    = bitutil.CompilePerm64(&Perm64)
+	invPerm64Groups = bitutil.CompilePerm64(&InvPerm64)
+)
+
 // PermBits64 applies the GIFT-64 bit permutation.
 func PermBits64(s uint64) uint64 {
-	return bitutil.PermuteBits64(s, &Perm64)
+	return bitutil.ApplyPerm64(s, perm64Groups)
 }
 
 // InvPermBits64 applies the inverse bit permutation.
 func InvPermBits64(s uint64) uint64 {
-	return bitutil.PermuteBits64(s, &InvPerm64)
+	return bitutil.ApplyPerm64(s, invPerm64Groups)
 }
 
 // AddRoundKey64 XORs the round key and round constant into the state:
@@ -244,9 +259,26 @@ func (c *Cipher64) SBoxInputsN(pt uint64, n int) []uint64 {
 	s := pt
 	for r := 0; r < n; r++ {
 		states[r] = s
-		s = Round64(s, c.rk[r])
+		s = PermBits64(SubCells64(s)) ^ c.rkm[r]
 	}
 	return states
+}
+
+// SBoxInputsAppend is SBoxInputsN writing into a caller-supplied
+// buffer: the first n round states are appended to dst (grown as
+// needed) and the extended slice returned. The trace oracle reuses one
+// buffer across encryptions, so the per-encryption slice allocation of
+// SBoxInputsN disappears from the hot loop.
+func (c *Cipher64) SBoxInputsAppend(dst []uint64, pt uint64, n int) []uint64 {
+	if n > Rounds64 {
+		n = Rounds64
+	}
+	s := pt
+	for r := 0; r < n; r++ {
+		dst = append(dst, s)
+		s = PermBits64(SubCells64(s)) ^ c.rkm[r]
+	}
+	return dst
 }
 
 // PartialEncrypt64 applies rounds 1..n of the cipher (n=0 returns pt

@@ -1,0 +1,195 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+
+	"grinch/internal/gift"
+	"grinch/internal/obs"
+	"grinch/internal/probe"
+)
+
+// batchPts produces n deterministic pseudo-random plaintexts.
+func batchPts(seed uint64, n int) []uint64 {
+	pts := make([]uint64, n)
+	x := seed | 1
+	for i := range pts {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		pts[i] = x
+	}
+	return pts
+}
+
+// TestPrimeBatchCollectPrimedMatchesScalar is the channel-level
+// differential: for every geometry the attack sweeps, priming a batch
+// and committing observations one by one must produce the exact byte
+// stream of the scalar CollectMasked path — same sets, same masks,
+// same encryption counter, same noise draws, same Evict+Time cursor,
+// same trace events.
+func TestPrimeBatchCollectPrimedMatchesScalar(t *testing.T) {
+	for _, lw := range []int{1, 2, 4, 8, 16} {
+		for _, pr := range []int{1, 3} {
+			for _, flush := range []bool{false, true} {
+				for _, mode := range []ProbeMode{ProbeFlushReload, ProbeEvictTime} {
+					for _, noisy := range []bool{false, true} {
+						// 9 plaintexts run the small-batch scalar prime
+						// path, 17 the bitsliced kernel; both must match
+						// the scalar channel byte for byte.
+						for _, npts := range []int{9, 17} {
+							cfg := Config{ProbeRound: pr, Probe: mode, Flush: flush, LineWords: lw, Seed: 99}
+							if noisy {
+								cfg.FalsePresence = 0.08
+								cfg.FalseAbsence = 0.12
+							}
+							scalar := mustOracle(t, cfg)
+							batched := mustOracle(t, cfg)
+							var scalarEv, batchEv obs.Buffer
+							scalar.SetTracer(&scalarEv)
+							batched.SetTracer(&batchEv)
+
+							pts := batchPts(uint64(lw*100+pr), npts)
+							targetRound := 2
+
+							raw := make([]probe.LineSet, len(pts))
+							if !batched.PrimeBatch(pts, targetRound, raw) {
+								t.Fatalf("lw=%d pr=%d: PrimeBatch refused a real victim", lw, pr)
+							}
+							for i, pt := range pts {
+								wantSet, wantMask := scalar.CollectMasked(pt, targetRound)
+								gotSet, gotMask := batched.CollectPrimed(raw[i], targetRound)
+								if gotSet != wantSet || gotMask != wantMask {
+									t.Fatalf("lw=%d pr=%d flush=%v mode=%d noisy=%v n=%d enc %d: batch (%v,%v), scalar (%v,%v)",
+										lw, pr, flush, mode, noisy, npts, i, gotSet, gotMask, wantSet, wantMask)
+								}
+							}
+							if scalar.Encryptions() != batched.Encryptions() {
+								t.Fatalf("encryption counters diverged: %d vs %d", batched.Encryptions(), scalar.Encryptions())
+							}
+							if !reflect.DeepEqual(scalarEv.Events, batchEv.Events) {
+								t.Fatalf("lw=%d pr=%d: trace events diverged", lw, pr)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrimeBatchInterleavedWithScalar proves a primed observation can
+// be committed between plain Collect calls without perturbing the
+// shared channel state (counter, cursor, noise stream).
+func TestPrimeBatchInterleavedWithScalar(t *testing.T) {
+	cfg := Config{ProbeRound: 1, Probe: ProbeEvictTime, Flush: true, LineWords: 2,
+		FalsePresence: 0.1, FalseAbsence: 0.1, Seed: 7}
+	ref := mustOracle(t, cfg)
+	mix := mustOracle(t, cfg)
+
+	pts := batchPts(41, 6)
+	raw := make([]probe.LineSet, len(pts))
+	if !mix.PrimeBatch(pts, 3, raw) {
+		t.Fatal("PrimeBatch refused")
+	}
+	for i, pt := range pts {
+		var wantSet, wantMask, gotSet, gotMask probe.LineSet
+		wantSet, wantMask = ref.CollectMasked(pt, 3)
+		if i%2 == 0 {
+			gotSet, gotMask = mix.CollectPrimed(raw[i], 3)
+		} else {
+			// Abandoning the primed set and re-collecting scalar must
+			// also agree: priming left no trace on the channel.
+			gotSet, gotMask = mix.CollectMasked(pt, 3)
+		}
+		if gotSet != wantSet || gotMask != wantMask {
+			t.Fatalf("enc %d: interleaved (%v,%v), reference (%v,%v)", i, gotSet, gotMask, wantSet, wantMask)
+		}
+	}
+}
+
+// TestPrimeBatchHasNoSideEffects pins the speculation contract: priming
+// alone must not advance the counter, the cursor, the noise stream or
+// emit events.
+func TestPrimeBatchHasNoSideEffects(t *testing.T) {
+	cfg := Config{ProbeRound: 2, Probe: ProbeEvictTime, LineWords: 4,
+		FalsePresence: 0.2, FalseAbsence: 0.2, Seed: 13}
+	o := mustOracle(t, cfg)
+	var ev obs.Buffer
+	o.SetTracer(&ev)
+
+	pts := batchPts(3, 64)
+	raw := make([]probe.LineSet, len(pts))
+	for i := 0; i < 5; i++ {
+		if !o.PrimeBatch(pts, 4, raw) {
+			t.Fatal("PrimeBatch refused")
+		}
+	}
+	if o.Encryptions() != 0 {
+		t.Fatalf("PrimeBatch advanced the encryption counter to %d", o.Encryptions())
+	}
+	if o.cursor != 0 {
+		t.Fatalf("PrimeBatch advanced the Evict+Time cursor to %d", o.cursor)
+	}
+	if len(ev.Events) != 0 {
+		t.Fatalf("PrimeBatch emitted %d events", len(ev.Events))
+	}
+	// The noise stream must be untouched: a fresh oracle with the same
+	// seed produces the same first observation.
+	fresh := mustOracle(t, cfg)
+	wantSet, wantMask := fresh.CollectMasked(pts[0], 4)
+	gotSet, gotMask := o.CollectMasked(pts[0], 4)
+	if gotSet != wantSet || gotMask != wantMask {
+		t.Fatal("PrimeBatch consumed noise rng state")
+	}
+}
+
+// TestPrimeBatchRawIsUnmaskedNoiseFree pins what the raw sets are: the
+// exact touched-line sets before noise, so CollectPrimed can replay the
+// scalar path's noise application byte for byte.
+func TestPrimeBatchRawIsUnmaskedNoiseFree(t *testing.T) {
+	noisy := Config{ProbeRound: 2, Flush: true, LineWords: 2,
+		FalsePresence: 0.3, FalseAbsence: 0.3, Seed: 5}
+	clean := noisy
+	clean.FalsePresence, clean.FalseAbsence = 0, 0
+
+	on := mustOracle(t, noisy)
+	off := mustOracle(t, clean)
+	pts := batchPts(9, 10)
+	raw := make([]probe.LineSet, len(pts))
+	if !on.PrimeBatch(pts, 2, raw) {
+		t.Fatal("PrimeBatch refused")
+	}
+	for i, pt := range pts {
+		if want := off.Collect(pt, 2); raw[i] != want {
+			t.Fatalf("enc %d: raw %v, noise-free scalar %v", i, raw[i], want)
+		}
+	}
+}
+
+// TestPrimeBatchRefusals enumerates the scalar-fallback cases.
+func TestPrimeBatchRefusals(t *testing.T) {
+	cfg := Config{ProbeRound: 1, LineWords: 1}
+	raw := make([]probe.LineSet, 65)
+
+	// Foreign tracer (no bitsliced kernel available).
+	c := gift.NewCipher64FromWord(testKey)
+	ft, err := NewFromTracer(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.PrimeBatch(batchPts(1, 4), 1, raw) {
+		t.Fatal("NewFromTracer oracle accepted PrimeBatch")
+	}
+
+	o := mustOracle(t, cfg)
+	if o.PrimeBatch(nil, 1, raw) {
+		t.Fatal("empty batch accepted")
+	}
+	if o.PrimeBatch(batchPts(1, 65), 1, raw) {
+		t.Fatal("oversized batch accepted")
+	}
+	if o.PrimeBatch(batchPts(1, 4), 1, raw[:3]) {
+		t.Fatal("short result buffer accepted")
+	}
+}

@@ -109,6 +109,13 @@ type truncatedTracer interface {
 	SBoxInputsN(pt uint64, n int) []uint64
 }
 
+// appendTracer is the allocation-free refinement of truncatedTracer:
+// the victim appends its round states into a caller-owned buffer that
+// the oracle reuses across encryptions. gift.Cipher64 implements it.
+type appendTracer interface {
+	SBoxInputsAppend(dst []uint64, pt uint64, n int) []uint64
+}
+
 // Oracle is an ideal probing channel against a GIFT-64 victim. It
 // implements probe.Channel and probe.MaskedChannel.
 type Oracle struct {
@@ -117,10 +124,14 @@ type Oracle struct {
 	cipher      *gift.Cipher64 //grinch:secret
 	noise       *rng.Source
 	lines       int
+	full        probe.LineSet
 	encryptions uint64
 	// cursor cycles the evicted line in Evict+Time mode.
 	cursor int
 	events obs.Tracer
+	// states is the reusable victim-trace buffer for the scalar Collect
+	// path (appendTracer victims), reset per encryption.
+	states []uint64
 }
 
 // New builds an oracle for a victim holding the given key.
@@ -148,6 +159,7 @@ func NewFromTracer(tr Tracer, cfg Config) (*Oracle, error) {
 		tracer: tr,
 		noise:  rng.New(cfg.Seed),
 		lines:  16 / cfg.LineWords,
+		full:   probe.FullSet(16 / cfg.LineWords),
 	}, nil
 }
 
@@ -196,9 +208,13 @@ func (o *Oracle) Collect(pt uint64, targetRound int) probe.LineSet {
 	}
 
 	var states []uint64
-	if tt, ok := o.tracer.(truncatedTracer); ok {
+	switch tt := o.tracer.(type) {
+	case appendTracer:
+		o.states = tt.SBoxInputsAppend(o.states[:0], pt, last)
+		states = o.states
+	case truncatedTracer:
 		states = tt.SBoxInputsN(pt, last)
-	} else {
+	default:
 		states = o.tracer.SBoxInputs(pt)
 	}
 
@@ -219,7 +235,7 @@ func (o *Oracle) Collect(pt uint64, targetRound int) probe.LineSet {
 func (o *Oracle) CollectMasked(pt uint64, targetRound int) (set, mask probe.LineSet) {
 	full := o.Collect(pt, targetRound)
 	if o.cfg.Probe != ProbeEvictTime {
-		return full, probe.FullSet(o.lines)
+		return full, o.full
 	}
 	l := o.cursor
 	o.cursor = (o.cursor + 1) % o.lines
@@ -229,7 +245,7 @@ func (o *Oracle) CollectMasked(pt uint64, targetRound int) (set, mask probe.Line
 
 // applyNoise injects false presences and absences per line.
 func (o *Oracle) applyNoise(set probe.LineSet) probe.LineSet {
-	return applyNoise(o.cfg, o.noise, o.lines, set)
+	return applyNoise(&o.cfg, o.noise, o.lines, set)
 }
 
 // applyNoise is shared by the GIFT-64 and GIFT-128 oracles. The line
@@ -238,7 +254,7 @@ func (o *Oracle) applyNoise(set probe.LineSet) probe.LineSet {
 // branch the leakage pass keeps on the books.
 //
 //grinch:secret set return
-func applyNoise(cfg Config, noise *rng.Source, lines int, set probe.LineSet) probe.LineSet {
+func applyNoise(cfg *Config, noise *rng.Source, lines int, set probe.LineSet) probe.LineSet {
 	if cfg.FalsePresence == 0 && cfg.FalseAbsence == 0 {
 		return set
 	}

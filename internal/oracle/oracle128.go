@@ -105,5 +105,5 @@ func (o *Oracle128) Collect(pt bitutil.Word128, targetRound int) probe.LineSet {
 			set = set.Add(idx / o.cfg.LineWords)
 		}
 	}
-	return applyNoise(o.cfg, o.noise, o.lines, set)
+	return applyNoise(&o.cfg, o.noise, o.lines, set)
 }

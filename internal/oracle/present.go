@@ -83,5 +83,5 @@ func (o *OracleP) Collect(pt uint64, targetRound int) probe.LineSet {
 			set = set.Add(idx / o.cfg.LineWords)
 		}
 	}
-	return applyNoise(o.cfg, o.noise, o.lines, set)
+	return applyNoise(&o.cfg, o.noise, o.lines, set)
 }

@@ -117,6 +117,34 @@ type MaskedChannel interface {
 	CollectMasked(pt uint64, targetRound int) (set, mask LineSet)
 }
 
+// BatchChannel is a Channel that can precompute many observations at
+// once without committing any of them — the contract behind the batched
+// attack pipeline's byte-identical-to-scalar guarantee.
+//
+// PrimeBatch speculatively evaluates the raw (noise-free, unmasked)
+// line sets for up to 64 crafted plaintexts with no observable side
+// effects: the Encryptions counter, trace events, noise stream and any
+// probing cursor are untouched. CollectPrimed then commits one primed
+// observation with semantics identical to Collect/CollectMasked on the
+// same plaintext — counter increment, event emission, noise application
+// and mask selection all happen at commit time, in commit order. An
+// attack that stops mid-batch therefore leaves the channel in exactly
+// the state a scalar attack would, and uncommitted speculative work
+// simply evaporates.
+//
+// PrimeBatch returns false when the channel cannot batch the request
+// (foreign victim implementations, oversized batches); the caller must
+// then fall back to the scalar path for those observations.
+type BatchChannel interface {
+	Channel
+	// PrimeBatch fills raw[i] with the side-effect-free raw line set of
+	// pts[i] for the given target round. len(raw) must be ≥ len(pts).
+	PrimeBatch(pts []uint64, targetRound int, raw []LineSet) bool
+	// CollectPrimed commits one primed raw set, returning the observed
+	// set and examined mask exactly as CollectMasked would have.
+	CollectPrimed(raw LineSet, targetRound int) (set, mask LineSet)
+}
+
 // TableLayout describes where the victim's S-box table lives in memory.
 type TableLayout struct {
 	// Base is the address of entry 0. Must be line-aligned for the

@@ -10,10 +10,17 @@
 // SplitMix64 as its authors recommend.
 package rng
 
+import "math/bits"
+
 // Source is a deterministic xoshiro256** generator. The zero value is not
 // usable; construct with New.
+//
+// The four state words are separate fields rather than a [4]uint64:
+// the compiler's SSA pass decomposes struct fields into registers but
+// never arrays, and the crafting hot loop runs 16 inlined draws on a
+// local copy — scalar fields keep that whole run register-resident.
 type Source struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // New returns a generator seeded from the given seed. Two Sources built
@@ -28,33 +35,34 @@ func New(seed uint64) *Source {
 // even adjacent seeds yield uncorrelated streams.
 func (r *Source) Reseed(seed uint64) {
 	sm := seed
-	for i := range r.s {
+	next := func() uint64 {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		return z ^ (z >> 31)
 	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
 	// xoshiro256** requires a not-all-zero state; SplitMix64 cannot emit
 	// four zeros in a row, but guard anyway.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 1
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
 	}
 }
 
-func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
-
-// Uint64 returns the next 64 pseudo-random bits.
+// Uint64 returns the next 64 pseudo-random bits. The rotates go
+// through math/bits so the compiler lowers them to single instructions
+// and the whole step stays cheap enough to inline into the crafting
+// hot loop (16 draws per crafted plaintext).
 func (r *Source) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
-	return result
+	t := r.s1
+	r.s2 ^= r.s0
+	r.s3 ^= t
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t << 17
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return bits.RotateLeft64(t*5, 7) * 9
 }
 
 // Uint32 returns the next 32 pseudo-random bits.
@@ -67,10 +75,19 @@ func (r *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
 	}
-	// Lemire's multiply-shift rejection method for unbiased bounded
-	// integers without division in the common case.
 	un := uint64(n)
 	v := r.Uint64()
+	if un&(un-1) == 0 {
+		// Power-of-two bound: Lemire's method degenerates to taking the
+		// top log2(n) bits — the rejection threshold (2^64 - n) mod n is
+		// zero, so exactly one draw is consumed and the value equals the
+		// high half of v·n. Same stream, same result, no 128-bit
+		// multiply (the crafting hot path draws Intn(8) four times per
+		// plaintext).
+		return int(v >> (64 - uint(bits.Len64(un)-1)))
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded
+	// integers without division in the common case.
 	hi, lo := mul64(v, un)
 	if lo < un {
 		thresh := -un % un
@@ -80,6 +97,14 @@ func (r *Source) Intn(n int) int {
 		}
 	}
 	return int(hi)
+}
+
+// IntnPow2 returns the same value Intn(1<<k) would, consuming the same
+// single draw, for 0 < k < 64. Intn's general body is too large for the
+// compiler to inline; the crafting hot loop always draws from 8-entry
+// lists, so this power-of-two special case keeps the whole draw inline.
+func (r *Source) IntnPow2(k uint) int {
+	return int(r.Uint64() >> (64 - k))
 }
 
 // mul64 returns the 128-bit product of a and b as (hi, lo).
@@ -122,6 +147,18 @@ func (r *Source) Perm(n int) []int {
 	}
 	return p
 }
+
+// Snapshot returns a copy of the generator's current state. Restoring
+// it rewinds the stream exactly: after Restore, the Source replays the
+// same draws it produced after the Snapshot. The batched attack
+// pipeline uses this to un-consume speculatively crafted plaintexts —
+// the number of Uint64 draws behind an Intn call is data-dependent
+// (Lemire rejection), so positions can only be revisited by state
+// capture, never by skip-ahead arithmetic.
+func (r *Source) Snapshot() Source { return *r }
+
+// Restore rewinds the generator to a previously captured Snapshot.
+func (r *Source) Restore(s Source) { *r = s }
 
 // Split returns a new Source whose stream is independent of r's: it is
 // seeded from r's output, letting one experiment seed fan out into

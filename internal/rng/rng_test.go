@@ -176,3 +176,77 @@ func BenchmarkIntn16(b *testing.B) {
 		_ = r.Intn(16)
 	}
 }
+
+func TestSnapshotRestoreReplaysStream(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 37; i++ {
+		r.Uint64()
+	}
+	snap := r.Snapshot()
+	first := make([]uint64, 64)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	// Mixed draw kinds after the capture must not matter: Restore rewinds
+	// the raw state, not a draw count.
+	r.Intn(7)
+	r.Float64()
+	r.Restore(snap)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("replay diverged at draw %d", i)
+		}
+	}
+}
+
+// TestIntnPowerOfTwoMatchesLemire pins the power-of-two fast path to the
+// general Lemire path: same value, same single-draw stream consumption.
+func TestIntnPowerOfTwoMatchesLemire(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 1024} {
+		a := New(uint64(n))
+		b := New(uint64(n))
+		for i := 0; i < 2000; i++ {
+			got := a.Intn(n)
+			// Reference: the un-shortcut Lemire computation over the same
+			// single draw (rejection never fires for power-of-two n).
+			v := b.Uint64()
+			hi, _ := mul64(v, uint64(n))
+			if got != int(hi) {
+				t.Fatalf("Intn(%d) draw %d: fast path %d, Lemire %d", n, i, got, hi)
+			}
+			if got < 0 || got >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, got)
+			}
+		}
+		// Streams must stay in lockstep (exactly one draw per call).
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Intn(%d) consumed a different number of draws", n)
+		}
+	}
+}
+
+func TestIntnPow2MatchesIntn(t *testing.T) {
+	for _, k := range []uint{1, 2, 3, 5, 10, 32, 63} {
+		a := New(uint64(k) * 7)
+		b := New(uint64(k) * 7)
+		n := 1 << k
+		for i := 0; i < 2000; i++ {
+			got := a.IntnPow2(k)
+			var want int
+			if k < 31 {
+				want = b.Intn(n)
+			} else {
+				// Intn takes an int; for huge k compare against the raw
+				// shifted draw instead.
+				want = int(b.Uint64() >> (64 - k))
+			}
+			if got != want {
+				t.Fatalf("IntnPow2(%d) draw %d: got %d, Intn(%d) %d", k, i, got, n, want)
+			}
+		}
+		// One draw per call: the streams must stay in lockstep.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("IntnPow2(%d) consumed a different number of draws", k)
+		}
+	}
+}
