@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint lint-quant baseline build test race bench bench-json bench-guard quick
+.PHONY: check vet lint lint-quant baseline build test race soak chaos bench bench-json bench-guard quick
 
 check: vet lint lint-quant build race bench-guard
 
@@ -36,6 +36,16 @@ test:
 # race detector is the gate that keeps them honest.
 race:
 	$(GO) test -race ./...
+
+# Opt-in node-churn soak: coordinator restart, worker kill/respawn and
+# chaos transports in one in-process test (see soak_test.go).
+soak:
+	$(GO) test -race -tags soak -run TestChurnSoak -count=1 ./internal/campaignd
+
+# The full chaos drill: the soak above plus a process-level run with
+# -race binaries, SIGKILLed workers and a restarted coordinator.
+chaos:
+	scripts/ci_chaos.sh
 
 # Serial-vs-pooled campaign execution of a small Table I grid.
 bench:

@@ -20,6 +20,17 @@
 // lease expires on the coordinator and the shard re-issues with the
 // already-reported results intact. Restarting the worker (same or
 // different -id) resumes from the remainder.
+//
+// Chaos drills: -chaos installs a deterministic fault-injecting
+// transport between this worker and the coordinator (DESIGN.md §16),
+// e.g.
+//
+//	campaignw -server http://host:8844 -drain \
+//	  -chaos 'drop-response:path=/api/v1/results:p=0.1,delay:ms=20:p=0.3' \
+//	  -chaos-seed 7
+//
+// The merged output must still be byte-identical to a fault-free run —
+// scripts/ci_chaos.sh drills exactly that.
 package main
 
 import (
@@ -29,8 +40,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"grinch/internal/campaignd/chaos"
 	"grinch/internal/campaignd/worker"
 	"grinch/internal/experiments"
 )
@@ -44,6 +57,9 @@ func main() {
 		poll    = flag.Duration("poll", worker.DefaultPoll, "idle sleep between lease attempts")
 		drain   = flag.Bool("drain", false, "exit once the coordinator reports all campaigns merged")
 		quiet   = flag.Bool("quiet", false, "suppress operator logs on stderr")
+
+		chaosSpec = flag.String("chaos", "", "fault-injection plan, e.g. 'drop-response:path=/api/v1/results:p=0.1,delay:ms=20' (kinds: "+strings.Join(chaos.Kinds(), ", ")+")")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for the fault-injection plan's deterministic decisions")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -64,10 +80,21 @@ func main() {
 		}
 	}
 
+	var transport *chaos.Transport
+	if *chaosSpec != "" {
+		plan, err := chaos.ParsePlan(*chaosSpec, *chaosSeed)
+		if err != nil {
+			fatalf("-chaos: %v", err)
+		}
+		transport = chaos.NewTransport(plan, nil)
+		transport.Logf = logf
+		logf("chaos plan armed (seed %d): %s", *chaosSeed, plan)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := worker.Run(ctx, worker.Config{
+	cfg := worker.Config{
 		Server:  *server,
 		ID:      wid,
 		Exec:    experiments.Execute,
@@ -76,7 +103,14 @@ func main() {
 		Poll:    *poll,
 		Drain:   *drain,
 		Logf:    logf,
-	})
+	}
+	if transport != nil {
+		cfg.Transport = transport
+	}
+	err := worker.Run(ctx, cfg)
+	if transport != nil {
+		logf("chaos injections: %s", transport.Summary())
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, context.Canceled):

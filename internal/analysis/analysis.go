@@ -167,6 +167,11 @@ func DefaultDeterministicPkgs() []string {
 		"internal/faults",
 		"internal/campaign",
 		"internal/campaignd",
+		// Covered by the internal/campaignd tree entry above, but listed
+		// explicitly: replayable fault schedules are the chaos package's
+		// whole contract (DESIGN.md §16) — injection decisions derive
+		// from seeds and request ordinals, never from the clock.
+		"internal/campaignd/chaos",
 		"internal/experiments",
 		"internal/obs",
 		// Covered by the internal/obs tree entry above, but listed

@@ -68,6 +68,7 @@ func TestExpvarSchemas(t *testing.T) {
 		"shards",
 		"shards_done",
 		"shards_leased",
+		"shed",
 		"suggested_shard_size",
 		"uptime_seconds",
 		"workers",

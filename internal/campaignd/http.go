@@ -118,6 +118,15 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	// Admission control runs before the body is even decoded: shedding
+	// must stay cheap precisely when the coordinator is drowning.
+	release, admitted := s.admitIngest()
+	if !admitted {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "ingest overloaded (%d in flight); retry", s.opts.MaxInflightIngest)
+		return
+	}
+	defer release()
 	req, ok := decode[ReportRequest](w, r)
 	if !ok {
 		return

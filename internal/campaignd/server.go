@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"grinch/internal/campaign"
@@ -26,6 +27,11 @@ type Options struct {
 	// ShardSize is the default jobs-per-shard cap for submits that do
 	// not set one; 0 means DefaultShardSize.
 	ShardSize int
+	// MaxInflightIngest caps concurrent result-ingest requests; excess
+	// requests are shed with 429 + Retry-After so a flood of reporting
+	// workers degrades into backoff instead of queue collapse. 0 means
+	// DefaultMaxInflightIngest; negative disables shedding.
+	MaxInflightIngest int
 	// Now overrides the clock (tests inject a fake one to drive lease
 	// expiry deterministically). Nil means the wall clock. The clock
 	// steers only operator-side scheduling — lease expiry, status
@@ -43,6 +49,12 @@ type Options struct {
 // still re-issuing a lost node's shard within seconds.
 const DefaultLeaseTTL = 15 * time.Second
 
+// DefaultMaxInflightIngest is far above what a healthy fleet holds
+// open (ingestion is serialized on the server mutex, so in-flight
+// requests pile up only when the coordinator is overloaded); hitting
+// it means shedding is the right call.
+const DefaultMaxInflightIngest = 256
+
 // Server is the coordinator: campaign registry, shard lease manager,
 // result ingester, and merger. It is an http.Handler; all state is
 // guarded by mu (the API is low-rate control traffic — results arrive
@@ -57,15 +69,25 @@ type Server struct {
 	order     []string // campaign IDs in submission order
 	leases    map[string]*lease
 	workers   map[string]*workerSeen
-	nextID    int
-	nextLease int
-	started   time.Time
+	// completedLeases remembers every lease ID whose Complete was
+	// accepted, so a retried Complete (response lost after the commit)
+	// acknowledges idempotently instead of 410ing the worker into
+	// thinking it lost a shard it actually finished.
+	completedLeases map[string]bool
+	nextID          int
+	nextLease       int
+	started         time.Time
 
 	// Counters for the status page (guarded by mu).
 	leasesIssued    int
 	resultsIngested int
 	duplicates      int
 	reissues        int
+
+	// Ingest admission control: in-flight ingest requests and the shed
+	// count live outside mu so admission never queues behind ingestion.
+	ingestInflight atomic.Int64
+	shed           atomic.Uint64
 
 	// reg accumulates the coordinator's own instruments (per-shard
 	// ingestion-latency histograms); telemetry stores the latest
@@ -133,14 +155,18 @@ func NewServer(opts Options) (*Server, error) {
 	if now == nil {
 		now = time.Now //grinchvet:ignore wallclock lease expiry and status uptime are operator scheduling; merge bytes are clock-free
 	}
+	if opts.MaxInflightIngest == 0 {
+		opts.MaxInflightIngest = DefaultMaxInflightIngest
+	}
 	s := &Server{
-		opts:      opts,
-		now:       now,
-		campaigns: map[string]*campaignState{},
-		leases:    map[string]*lease{},
-		workers:   map[string]*workerSeen{},
-		reg:       metrics.New(),
-		telemetry: metrics.NewStore(),
+		opts:            opts,
+		now:             now,
+		campaigns:       map[string]*campaignState{},
+		leases:          map[string]*lease{},
+		workers:         map[string]*workerSeen{},
+		completedLeases: map[string]bool{},
+		reg:             metrics.New(),
+		telemetry:       metrics.NewStore(),
 	}
 	s.started = s.now()
 	if opts.DataDir != "" {
@@ -489,13 +515,39 @@ func (s *Server) ApplyTelemetry(worker string, d metrics.Delta) bool {
 	return s.telemetry.Apply(worker, d)
 }
 
+// admitIngest reserves one in-flight ingest slot, returning a release
+// func and whether the request was admitted. A refused request was
+// shed: the caller answers 429 + Retry-After and the client's backoff
+// does the queueing the server declined to.
+func (s *Server) admitIngest() (release func(), ok bool) {
+	limit := s.opts.MaxInflightIngest
+	if limit < 0 {
+		return func() {}, true
+	}
+	if s.ingestInflight.Add(1) > int64(limit) {
+		s.ingestInflight.Add(-1)
+		s.shed.Add(1)
+		return nil, false
+	}
+	return func() { s.ingestInflight.Add(-1) }, true
+}
+
+// Shed returns how many ingest requests have been refused with 429.
+func (s *Server) Shed() uint64 { return s.shed.Load() }
+
 // Complete marks a leased shard done, verifying full coverage of its
-// range, and merges the campaign when it was the last shard.
+// range, and merges the campaign when it was the last shard. Replays
+// of an already-accepted completion (the response was lost after the
+// commit) are acknowledged idempotently.
 func (s *Server) Complete(leaseID string) error {
 	s.mu.Lock()
 	l, c, sh, err := s.validLocked(leaseID)
 	if err != nil {
+		replay := s.completedLeases[leaseID]
 		s.mu.Unlock()
+		if replay {
+			return nil
+		}
 		return err
 	}
 	for i := sh.rng.Start; i < sh.rng.End; i++ {
@@ -505,6 +557,7 @@ func (s *Server) Complete(leaseID string) error {
 		}
 	}
 	delete(s.leases, leaseID)
+	s.completedLeases[leaseID] = true
 	sh.state = ShardDone
 	sh.leaseID = ""
 	s.seenLocked(l.worker)

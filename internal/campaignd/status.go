@@ -24,6 +24,7 @@ type MetricsSnapshot struct {
 	LeasesActive    int     `json:"leases_active"`
 	Reissues        int     `json:"reissues"`
 	Duplicates      int     `json:"duplicates"`
+	Shed            int     `json:"shed"`
 	Workers         int     `json:"workers"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	JobsPerSecond   float64 `json:"jobs_per_second"`
@@ -47,6 +48,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		LeasesActive: len(s.leases),
 		Reissues:     s.reissues,
 		Duplicates:   s.duplicates,
+		Shed:         int(s.shed.Load()),
 		Workers:      len(s.workers),
 	}
 	for _, id := range s.order {
@@ -112,7 +114,7 @@ th { background: #eee; }
 <p>{{.Metrics.Campaigns}} campaigns ({{.Metrics.CampaignsMerged}} merged) ·
 {{.Metrics.JobsDone}}/{{.Metrics.JobsTotal}} jobs ({{.Metrics.JobsFailed}} failed) ·
 {{printf "%.1f" .Metrics.JobsPerSecond}} jobs/sec ·
-{{.Metrics.LeasesActive}} active leases ({{.Metrics.LeasesIssued}} issued, {{.Metrics.Reissues}} re-issued, {{.Metrics.Duplicates}} duplicate results) ·
+{{.Metrics.LeasesActive}} active leases ({{.Metrics.LeasesIssued}} issued, {{.Metrics.Reissues}} re-issued, {{.Metrics.Duplicates}} duplicate results, {{.Metrics.Shed}} shed) ·
 {{.Metrics.Workers}} workers seen ·
 up {{printf "%.0f" .Metrics.UptimeSeconds}}s ·
 <a href="/debug/vars">expvar</a> · <a href="/debug/pprof/">pprof</a></p>

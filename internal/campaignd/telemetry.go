@@ -77,6 +77,8 @@ func (s *Server) synthSeriesLocked() []metrics.Series {
 		counter("campaignd_lease_reissues_total", "Expired leases whose shard returned to pending.", uint64(s.reissues)),
 		counter("campaignd_duplicate_results_total", "Duplicate results discarded at ingestion.", uint64(s.duplicates)),
 		counter("campaignd_results_ingested_total", "Results accepted at ingestion (first copies only).", uint64(s.resultsIngested)),
+		counter("campaignd_shed_total", "Ingest requests refused with 429 by overload admission control.", s.shed.Load()),
+		gauge("campaignd_ingest_inflight", "Result-ingest requests currently in flight.", s.ingestInflight.Load()),
 		gauge("campaignd_leases_active", "Live leases.", int64(len(s.leases))),
 		gauge("campaignd_workers_seen", "Distinct workers ever seen.", int64(len(s.workers))),
 	)
@@ -123,12 +125,45 @@ func (s *Server) suggestedShardSizeLocked() int {
 }
 
 // FleetStatus is the machine-readable coordinator status: the counter
-// snapshot plus per-campaign shard detail (with latency quantiles) and
-// the worker directory.
+// snapshot plus per-campaign shard detail (with latency quantiles),
+// the worker directory, and the fleet's retry health.
 type FleetStatus struct {
 	MetricsSnapshot
 	Campaigns []CampaignStatus `json:"campaigns"`
 	Workers   []WorkerStatus   `json:"workers,omitempty"`
+	Retry     RetryHealth      `json:"retry"`
+}
+
+// RetryHealth aggregates the fleet's resilience telemetry: how often
+// the coordinator shed ingest load, and how much retrying and backing
+// off the workers have reported (summed across the fleet from their
+// heartbeat deltas). A healthy quiet fleet is all zeros; a rising
+// retries count with flat shed points at the network, shed points at
+// coordinator overload.
+type RetryHealth struct {
+	ShedTotal             uint64 `json:"shed_total"`
+	WorkerRetriesTotal    uint64 `json:"worker_retries_total"`
+	WorkerBackoffMSTotal  uint64 `json:"worker_backoff_ms_total"`
+	WorkerShardsLostTotal uint64 `json:"worker_shards_lost_total"`
+}
+
+// retryHealth folds the fleet-wide retry telemetry from the worker
+// delta store plus the coordinator's shed counter.
+func (s *Server) retryHealth() RetryHealth {
+	h := RetryHealth{ShedTotal: s.shed.Load()}
+	for _, ser := range s.telemetry.Merged() {
+		switch ser.Name {
+		case "campaignw_report_retries_total":
+			h.WorkerRetriesTotal += ser.Value
+		case "campaignw_backoff_ms_total":
+			h.WorkerBackoffMSTotal += ser.Value
+		case "campaignw_shards_total":
+			if v, ok := metrics.Find([]metrics.Series{ser}, ser.Name, metrics.L("outcome", "lost")); ok {
+				h.WorkerShardsLostTotal += v.Value
+			}
+		}
+	}
+	return h
 }
 
 // WorkerStatus is one worker's row in the fleet status.
@@ -141,7 +176,7 @@ type WorkerStatus struct {
 
 // FleetStatus returns the current fleet status.
 func (s *Server) FleetStatus() FleetStatus {
-	fs := FleetStatus{MetricsSnapshot: s.Metrics()}
+	fs := FleetStatus{MetricsSnapshot: s.Metrics(), Retry: s.retryHealth()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, id := range s.order {

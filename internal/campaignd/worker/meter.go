@@ -3,8 +3,10 @@ package worker
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"grinch/internal/campaign"
+	"grinch/internal/campaignd"
 	"grinch/internal/obs/metrics"
 )
 
@@ -27,6 +29,15 @@ type meter struct {
 	leaseTries *metrics.Counter
 	wallMS     *metrics.Histogram
 
+	// Resilience telemetry: coordinator round-trip retries by call
+	// class (fed by the client's OnRetry hook), worker-level flush
+	// retry rounds, and total backoff wall time. All ship in the same
+	// cumulative deltas as the job counters, so the coordinator's
+	// /api/v1/status can surface fleet retry health.
+	retriesBy    map[string]*metrics.Counter
+	flushRetries *metrics.Counter
+	backoffMS    *metrics.Counter
+
 	mu sync.Mutex
 }
 
@@ -39,6 +50,11 @@ func newMeter() *meter {
 	outcome := func(o string) *metrics.Counter {
 		return r.Counter("campaignw_shards_total",
 			"Shards this worker finished, by outcome.", metrics.L("outcome", o))
+	}
+	retry := func(class string) *metrics.Counter {
+		return r.Counter("campaignw_report_retries_total",
+			"Coordinator round-trips retried after a transient failure, by call class.",
+			metrics.L("class", class))
 	}
 	return &meter{
 		reg:        r,
@@ -54,7 +70,35 @@ func newMeter() *meter {
 			"Failed lease round-trips (coordinator unreachable)."),
 		wallMS: r.WallHistogram("campaignw_job_wall_ms",
 			"Per-job wall duration on this worker, milliseconds.", metrics.DurationMSBuckets),
+		retriesBy: map[string]*metrics.Counter{
+			campaignd.ClassSubmit:    retry(campaignd.ClassSubmit),
+			campaignd.ClassLease:     retry(campaignd.ClassLease),
+			campaignd.ClassReport:    retry(campaignd.ClassReport),
+			campaignd.ClassHeartbeat: retry(campaignd.ClassHeartbeat),
+			campaignd.ClassComplete:  retry(campaignd.ClassComplete),
+			campaignd.ClassQuery:     retry(campaignd.ClassQuery),
+		},
+		flushRetries: r.Counter("campaignw_flush_retries_total",
+			"Report-flush rounds re-attempted after the per-call retry budget was exhausted."),
+		backoffMS: r.Counter("campaignw_backoff_ms_total",
+			"Total wall time this worker spent backing off before retries, milliseconds."),
 	}
+}
+
+// retry accounts one client-level backoff (call class, wait).
+func (m *meter) retry(class string, wait time.Duration) {
+	if ctr := m.retriesBy[class]; ctr != nil {
+		ctr.Inc()
+	} else {
+		m.retriesBy[campaignd.ClassQuery].Inc()
+	}
+	m.backoffMS.Add(uint64(wait / time.Millisecond))
+}
+
+// flushRetry accounts one worker-level flush round re-attempt.
+func (m *meter) flushRetry(wait time.Duration) {
+	m.flushRetries.Inc()
+	m.backoffMS.Add(uint64(wait / time.Millisecond))
 }
 
 // result accounts one executed job.
@@ -82,15 +126,21 @@ func (m *meter) delta() *metrics.Delta {
 
 // summary condenses the counters for the drain log line.
 type summary struct {
-	Jobs, Failed, Shards, Lost, LeaseRetries uint64
+	Jobs, Failed, Shards, Lost, LeaseRetries, Retries, BackoffMS uint64
 }
 
 func (m *meter) summary() summary {
+	var retries uint64
+	for _, ctr := range m.retriesBy { //grinchvet:ignore maporder summing counters is order-independent
+		retries += ctr.Value()
+	}
 	return summary{
 		Jobs:         m.jobsDone.Value() + m.jobsFailed.Value(),
 		Failed:       m.jobsFailed.Value(),
 		Shards:       m.shardsDone.Value(),
 		Lost:         m.shardsLost.Value(),
 		LeaseRetries: m.leaseTries.Value(),
+		Retries:      retries + m.flushRetries.Value(),
+		BackoffMS:    m.backoffMS.Value(),
 	}
 }

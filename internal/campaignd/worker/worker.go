@@ -18,6 +18,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
 	"time"
 
 	"grinch/internal/campaign"
@@ -49,8 +52,25 @@ type Config struct {
 	Drain bool
 	// ConnectRetries bounds consecutive failed lease round-trips
 	// (coordinator down or not yet listening) before giving up (0:
-	// DefaultConnectRetries). Each failure sleeps one Poll.
+	// DefaultConnectRetries). Each failure sleeps one Poll. The client
+	// layer's own per-call retries run inside each round-trip, so the
+	// effective outage budget is ConnectRetries × the lease class's
+	// backoff ceiling.
 	ConnectRetries int
+	// FlushRetries bounds worker-level report-flush rounds: each round
+	// is a full client call (with its own per-call retry budget), and
+	// between rounds the worker backs off — so a coordinator restart
+	// longer than one call's budget degrades into waiting, not into an
+	// abandoned shard (0: DefaultFlushRetries).
+	FlushRetries int
+	// Transport, when set, replaces the HTTP transport — the chaos
+	// drill hook (cmd/campaignw -chaos wires a chaos.Transport here).
+	// Ignored when client is overridden.
+	Transport http.RoundTripper
+	// Retry overrides the client retry policy (nil: defaults with a
+	// jitter seed derived from ID, so a fleet's backoff schedules are
+	// decorrelated but per-worker replayable).
+	Retry *campaignd.RetryPolicy
 	// Logf receives operator log lines; nil discards them.
 	Logf func(format string, args ...any)
 
@@ -63,7 +83,21 @@ const (
 	DefaultBatch          = 16
 	DefaultPoll           = 250 * time.Millisecond
 	DefaultConnectRetries = 40
+	DefaultFlushRetries   = 5
+	// flushBackoffBase/Max shape the between-round flush backoff.
+	flushBackoffBase = 250 * time.Millisecond
+	flushBackoffMax  = 4 * time.Second
+	// minHeartbeatInterval floors the heartbeat ticker: a lease TTL of
+	// a few milliseconds must clamp, not panic time.NewTicker.
+	minHeartbeatInterval = time.Millisecond
 )
+
+// idSeed derives a deterministic jitter seed from the worker identity.
+func idSeed(id string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	return h.Sum64()
+}
 
 // Run executes the pull loop until ctx is cancelled, the coordinator
 // drains (Config.Drain), or repeated connection failures exhaust the
@@ -86,15 +120,34 @@ func Run(ctx context.Context, cfg Config) error {
 	if cfg.ConnectRetries <= 0 {
 		cfg.ConnectRetries = DefaultConnectRetries
 	}
-	client := cfg.client
-	if client == nil {
-		client = &campaignd.Client{Base: cfg.Server}
+	if cfg.FlushRetries <= 0 {
+		cfg.FlushRetries = DefaultFlushRetries
 	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	m := newMeter()
+	client := cfg.client
+	if client == nil {
+		pol := campaignd.DefaultRetryPolicy()
+		if cfg.Retry != nil {
+			pol = *cfg.Retry
+		}
+		if pol.Seed == 0 {
+			pol.Seed = idSeed(cfg.ID)
+		}
+		client = &campaignd.Client{Base: cfg.Server, Retry: &pol}
+		if cfg.Transport != nil {
+			client.HTTP = &http.Client{Transport: cfg.Transport, Timeout: 2 * campaignd.DefaultCallTimeout}
+		}
+	}
+	if client.OnRetry == nil {
+		client.OnRetry = func(class string, attempt int, wait time.Duration, err error) {
+			m.retry(class, wait)
+			logf("worker %s: %s attempt %d failed (%v); retrying in %s", cfg.ID, class, attempt, err, wait)
+		}
+	}
 	start := time.Now() //grinchvet:ignore wallclock drain-summary telemetry, never reaches result bytes
 
 	failures := 0
@@ -119,8 +172,8 @@ func Run(ctx context.Context, cfg Config) error {
 		if resp.Lease == nil {
 			if cfg.Drain && resp.AllDone {
 				sum := m.summary()
-				logf("worker %s: coordinator drained; exiting — %d jobs (%d failed) in %d shards (%d lost), %d lease retries, %.1fs wall",
-					cfg.ID, sum.Jobs, sum.Failed, sum.Shards, sum.Lost, sum.LeaseRetries,
+				logf("worker %s: coordinator drained; exiting — %d jobs (%d failed) in %d shards (%d lost), %d lease retries, %d call retries (%dms backoff), %.1fs wall",
+					cfg.ID, sum.Jobs, sum.Failed, sum.Shards, sum.Lost, sum.LeaseRetries, sum.Retries, sum.BackoffMS,
 					time.Since(start).Seconds()) //grinchvet:ignore wallclock drain-summary telemetry
 				return nil
 			}
@@ -163,6 +216,11 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // batch-report, complete. Every round-trip to the coordinator carries
 // the worker's cumulative telemetry delta.
 func runShard(ctx context.Context, cfg Config, client *campaignd.Client, m *meter, logf func(string, ...any), l *campaignd.Lease) error {
+	if l.TTLMS <= 0 {
+		// A non-positive TTL cannot fence anything: refuse the lease
+		// loudly instead of dividing it into a panicking ticker.
+		return fmt.Errorf("worker %s: lease %s carries invalid ttl_ms %d (must be positive); refusing the shard", cfg.ID, l.ID, l.TTLMS)
+	}
 	all := l.Spec.Jobs()
 	if l.End > len(all) {
 		return fmt.Errorf("worker %s: lease %s range [%d,%d) exceeds grid size %d", cfg.ID, l.ID, l.Start, l.End, len(all))
@@ -181,14 +239,21 @@ func runShard(ctx context.Context, cfg Config, client *campaignd.Client, m *mete
 
 	// Heartbeat at a third of the TTL until the shard is finished. A
 	// revoked lease cancels the shard so in-flight jobs stop feeding a
-	// dead lease.
+	// dead lease. The interval is floored: a degenerate few-millisecond
+	// TTL (stress tests, mis-tuned coordinators) clamps to a spammy but
+	// live heartbeat instead of panicking time.NewTicker with a
+	// non-positive duration.
 	shardCtx, stopShard := context.WithCancelCause(ctx)
 	defer stopShard(nil)
 	ttl := time.Duration(l.TTLMS) * time.Millisecond
+	hbInterval := ttl / 3
+	if hbInterval < minHeartbeatInterval {
+		hbInterval = minHeartbeatInterval
+	}
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
-		tick := time.NewTicker(ttl / 3)
+		tick := time.NewTicker(hbInterval)
 		defer tick.Stop()
 		for {
 			select {
@@ -206,17 +271,48 @@ func runShard(ctx context.Context, cfg Config, client *campaignd.Client, m *mete
 		}
 	}()
 
+	// flush reports the pending batch, persistently: each round is a
+	// full client call (which retries transient failures internally);
+	// if a round still fails, the worker backs off and tries again up
+	// to FlushRetries rounds instead of abandoning a shard whose
+	// results it already computed. The batch is only cleared on
+	// success, and the server dedupes by job index, so a response lost
+	// after the commit costs one duplicate round-trip, never a
+	// double-count. A revoked lease or cancelled shard stops the
+	// persistence immediately — those failures cannot heal.
 	batch := make([]campaign.Result, 0, cfg.Batch)
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := client.ReportDelta(l.ID, batch, cfg.ID, m.delta()); err != nil {
-			return err
+		var err error
+		for round := 1; ; round++ {
+			err = client.ReportDelta(l.ID, batch, cfg.ID, m.delta())
+			if err == nil {
+				m.batches.Inc()
+				batch = batch[:0]
+				return nil
+			}
+			if errors.Is(err, campaignd.ErrLeaseGone) || shardCtx.Err() != nil {
+				return err
+			}
+			if round >= cfg.FlushRetries {
+				return fmt.Errorf("worker %s: lease %s: flush failed after %d rounds: %w", cfg.ID, l.ID, round, err)
+			}
+			wait := flushBackoffBase << uint(round-1)
+			if wait > flushBackoffMax {
+				wait = flushBackoffMax
+			}
+			m.flushRetry(wait)
+			logf("worker %s: lease %s: flush round %d failed (%v); holding %d results and retrying in %s",
+				cfg.ID, l.ID, round, err, len(batch), wait)
+			if !sleepCtx(shardCtx, wait) {
+				if cause := context.Cause(shardCtx); cause != nil {
+					return cause
+				}
+				return shardCtx.Err()
+			}
 		}
-		m.batches.Inc()
-		batch = batch[:0]
-		return nil
 	}
 	execErr := campaign.ExecuteJobs(shardCtx, jobs, cfg.Exec, cfg.Workers, func(r campaign.Result) error {
 		m.result(r)

@@ -1,0 +1,65 @@
+package worker
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"grinch/internal/campaignd"
+)
+
+// TestRunShardRejectsNonPositiveTTL pins the ticker-panic fix at the
+// unit level: a lease whose TTL rounded to zero milliseconds is
+// refused with a diagnosis, before the worker touches the network
+// (previously time.NewTicker(ttl/3) panicked the whole process).
+func TestRunShardRejectsNonPositiveTTL(t *testing.T) {
+	for _, ttl := range []int64{0, -5} {
+		err := runShard(context.Background(), Config{ID: "w-unit"}, nil, newMeter(),
+			func(string, ...any) {}, &campaignd.Lease{ID: "L1", TTLMS: ttl})
+		if err == nil || !strings.Contains(err.Error(), "invalid ttl_ms") {
+			t.Fatalf("ttl_ms=%d: err = %v, want an invalid-TTL refusal", ttl, err)
+		}
+	}
+}
+
+// TestMeterRetryAccounting pins the retry telemetry: per-class
+// counters, the unknown-class fallback, flush rounds, and the backoff
+// total that the drain summary and fleet status read.
+func TestMeterRetryAccounting(t *testing.T) {
+	m := newMeter()
+	m.retry(campaignd.ClassReport, 10*time.Millisecond)
+	m.retry(campaignd.ClassReport, 15*time.Millisecond)
+	m.retry(campaignd.ClassHeartbeat, 5*time.Millisecond)
+	m.retry("no-such-class", 2*time.Millisecond) // falls back to query
+	m.flushRetry(100 * time.Millisecond)
+
+	if got := m.retriesBy[campaignd.ClassReport].Value(); got != 2 {
+		t.Errorf("report retries = %d, want 2", got)
+	}
+	if got := m.retriesBy[campaignd.ClassQuery].Value(); got != 1 {
+		t.Errorf("unknown-class fallback: query retries = %d, want 1", got)
+	}
+	if got := m.flushRetries.Value(); got != 1 {
+		t.Errorf("flush retries = %d, want 1", got)
+	}
+	if got := m.backoffMS.Value(); got != 132 {
+		t.Errorf("backoff total = %dms, want 132", got)
+	}
+	sum := m.summary()
+	if sum.Retries != 5 || sum.BackoffMS != 132 {
+		t.Errorf("summary retries=%d backoff=%d, want 5 and 132", sum.Retries, sum.BackoffMS)
+	}
+}
+
+// TestIDSeed: the jitter seed is a stable function of the worker ID so
+// a fleet's backoff schedules are decorrelated but per-worker
+// replayable.
+func TestIDSeed(t *testing.T) {
+	if idSeed("w1") != idSeed("w1") {
+		t.Error("idSeed is not stable")
+	}
+	if idSeed("w1") == idSeed("w2") {
+		t.Error("distinct workers share a jitter seed")
+	}
+}

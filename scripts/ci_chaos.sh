@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Chaos drill for the distributed campaign service: the same
+# byte-determinism contract as scripts/ci_distributed.sh, but with the
+# network actively hostile and the fleet churning —
+#
+#   * every worker runs behind a -chaos fault plan (lost responses
+#     after the server committed, lost requests, fabricated 5xx,
+#     injected delays),
+#   * one worker is SIGKILLed mid-run and a replacement is spawned,
+#   * the coordinator is SIGTERMed mid-run and restarted over the same
+#     journals and address,
+#
+# and the merged output must STILL be byte-identical to a fault-free
+# single-process cmd/campaign run. The in-process churn soak
+# (TestChurnSoak, -tags soak) runs first; the process-level drill then
+# repeats the story with real binaries and real signals. All binaries
+# are built with -race.
+#
+# Usage: scripts/ci_chaos.sh [port]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PORT="${1:-18937}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== in-process churn soak (go test -tags soak)"
+go test -race -tags soak -run TestChurnSoak -count=1 ./internal/campaignd
+
+echo "== building -race binaries"
+go build -race -o "$WORK/bin/" ./cmd/campaign ./cmd/campaignd ./cmd/campaignw
+
+SPEC_ARGS=(-trials 2 -budget 200000 -seed 2021)
+# A short lease TTL so the killed worker's shard re-issues within the
+# drill instead of after it.
+TTL=2s
+
+echo "== single-process reference run"
+"$WORK/bin/campaign" "${SPEC_ARGS[@]}" -quiet \
+  -out "$WORK/ref.jsonl" -csv "$WORK/ref.csv" table1 >/dev/null
+
+# The merged outputs use absolute paths: the restarted coordinator
+# re-resolves them from the journaled submit request, so they must not
+# depend on either process's working directory.
+echo "== coordinator (journaled) + 3 chaos workers on $ADDR"
+"$WORK/bin/campaignd" -addr "$ADDR" -data "$WORK/data" -lease-ttl "$TTL" "${SPEC_ARGS[@]}" \
+  -out "$WORK/merged.jsonl" -csv "$WORK/merged.csv" table1 &
+SERVER_PID=$!
+PIDS+=("$SERVER_PID")
+
+# Deterministic, per-worker-seeded fault plans. Responses are lost
+# AFTER the coordinator commits (the at-least-once hazard), requests
+# are lost before it sees them, and 5xx/delays harass every call class.
+CHAOS='drop-response:path=/api/v1/results:p=0.1,drop-request:path=/api/v1/results:p=0.05,5xx:p=0.05,delay:ms=5:p=0.2'
+start_worker() { # id seed
+  "$WORK/bin/campaignw" -server "http://$ADDR" -id "$1" -drain \
+    -chaos "$CHAOS" -chaos-seed "$2" &
+  PIDS+=("$!")
+}
+start_worker chaos-w1 101
+W1=$!
+start_worker chaos-w2 102
+W2=$!
+start_worker chaos-w3 103
+W3=$!
+
+wait_jobs_done() { # min
+  for _ in $(seq 1 600); do
+    DONE="$(curl -fs "http://$ADDR/metrics" 2>/dev/null |
+      awk '$1 ~ /^campaignd_jobs_done_total([{]|$)/ {s+=$NF} END{printf "%d", s+0}')" || DONE=0
+    if [ "${DONE:-0}" -ge "$1" ]; then return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: coordinator never reached $1 ingested jobs" >&2
+  return 1
+}
+
+EXPECTED_ROWS="$(wc -l <"$WORK/ref.jsonl")"
+QUARTER=$((EXPECTED_ROWS / 4))
+
+echo "== churn: SIGKILL worker chaos-w2 mid-run, spawn replacement"
+wait_jobs_done "$QUARTER"
+kill -KILL "$W2" 2>/dev/null || true
+start_worker chaos-w2r 104
+W2R=$!
+
+echo "== churn: restart the coordinator over the same journals"
+wait_jobs_done $((QUARTER * 2))
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+# Restart WITHOUT the preset argument: the boot campaign is already
+# journaled (spec + output paths) and recovery resubmits it; passing
+# the preset again would submit a duplicate campaign.
+"$WORK/bin/campaignd" -addr "$ADDR" -data "$WORK/data" -lease-ttl "$TTL" &
+SERVER_PID=$!
+PIDS+=("$SERVER_PID")
+
+# The surviving workers and the replacement drain on their own once
+# the campaign merges; the SIGKILLed one is exempt from exit-code
+# checks — dying ungracefully is its role.
+echo "== waiting for the fleet to drain through the chaos"
+for pid in "$W1" "$W3" "$W2R"; do
+  if ! wait "$pid"; then
+    echo "FAIL: campaignw exited non-zero" >&2
+    exit 1
+  fi
+done
+
+echo "== asserting the merge and the resilience telemetry"
+wait_jobs_done "$EXPECTED_ROWS"
+BODY="$(curl -fs "http://$ADDR/metrics")"
+printf '%s\n' "$BODY" | grep -q '^campaignd_campaigns{state="merged"} 1$' || {
+  echo "FAIL: the campaign never merged" >&2
+  exit 1
+}
+printf '%s\n' "$BODY" | grep -q '^campaignd_shed_total' || {
+  echo "FAIL: /metrics is missing campaignd_shed_total" >&2
+  exit 1
+}
+RETRIES="$(curl -fs "http://$ADDR/api/v1/status" |
+  sed -n 's/.*"worker_retries_total":\([0-9]*\).*/\1/p')"
+echo "   fleet status reports worker_retries_total=$RETRIES"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: campaignd exited non-zero" >&2; exit 1; }
+
+echo "== diffing merged output against the single-process run"
+cmp "$WORK/merged.jsonl" "$WORK/ref.jsonl"
+cmp "$WORK/merged.csv" "$WORK/ref.csv"
+echo "OK: chaos-drilled merge is byte-identical ($(wc -c <"$WORK/merged.jsonl") bytes JSONL, $(wc -c <"$WORK/merged.csv") bytes CSV)"
